@@ -1,0 +1,74 @@
+//! FLOP counting for attention, shared by the MFU calculations in
+//! `fpdt-model` and the cost models in `fpdt-sim`.
+//!
+//! Conventions follow the Megatron/PaLM accounting the paper uses: a
+//! multiply-accumulate is 2 FLOPs, and causal attention does half the work
+//! of full attention (only the lower-triangular tiles run).
+
+/// FLOPs for the *forward* pass of causal attention over `s` tokens with
+/// `h` heads of dimension `d`: two GEMMs (`QKᵀ` and `PV`), each
+/// `2·s²·h·d`, halved by causality.
+pub fn attention_fwd_flops(s: u64, h: u64, d: u64) -> u64 {
+    // 2 GEMMs * 2 flops/MAC * s^2 * h * d / 2 (causal)
+    2 * s * s * h * d
+}
+
+/// FLOPs for the *backward* pass: five GEMM-shaped products
+/// (`dV = PᵀdO`, `dP = dO Vᵀ`, recompute `P`, `dQ = dS K`, `dK = dSᵀ Q`),
+/// i.e. 2.5x the forward.
+pub fn attention_bwd_flops(s: u64, h: u64, d: u64) -> u64 {
+    5 * s * s * h * d
+}
+
+/// Forward FLOPs for one `(q_len, kv_len)` attention *tile* (no causal
+/// halving — tiles are either fully visible or masked per element).
+pub fn attention_tile_fwd_flops(q_len: u64, kv_len: u64, h: u64, d: u64) -> u64 {
+    4 * q_len * kv_len * h * d
+}
+
+/// Backward FLOPs for one `(q_len, kv_len)` attention tile.
+pub fn attention_tile_bwd_flops(q_len: u64, kv_len: u64, h: u64, d: u64) -> u64 {
+    10 * q_len * kv_len * h * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_is_2_5x_forward() {
+        let f = attention_fwd_flops(1024, 16, 64);
+        let b = attention_bwd_flops(1024, 16, 64);
+        assert_eq!(b * 2, f * 5);
+    }
+
+    #[test]
+    fn tiles_sum_to_causal_total() {
+        // Summing the causally-visible tiles of a chunked schedule should
+        // approach the closed-form causal count as chunks shrink.
+        let (s, h, d, chunks) = (1024u64, 8u64, 64u64, 64u64);
+        let step = s / chunks;
+        let mut total = 0;
+        for i in 0..chunks {
+            for j in 0..=i {
+                if j < i {
+                    total += attention_tile_fwd_flops(step, step, h, d);
+                } else {
+                    // diagonal tile: causal, half the work
+                    total += attention_tile_fwd_flops(step, step, h, d) / 2;
+                }
+            }
+        }
+        let closed = attention_fwd_flops(s, h, d);
+        let ratio = total as f64 / closed as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn flops_scale_quadratically_in_s() {
+        assert_eq!(
+            attention_fwd_flops(2048, 8, 64),
+            4 * attention_fwd_flops(1024, 8, 64)
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! Blockwise online-softmax attention (the FlashAttention-2 recurrence)
+//! with a carried state that survives arbitrary KV-block arrival order in
+//! *value*, not just in schedule — the property FPDT's host-offloaded chunk
+//! pipeline depends on.
+//!
+//! Forward: an [`OnlineAttention`] accumulator holds `(acc, m, l)` per
+//! query row and head. Each [`OnlineAttention::update`] folds one KV block
+//! in with the rescaling recurrence; [`OnlineAttention::finalize`] emits
+//! the output and the per-row log-sum-exp needed by the backward pass.
+//!
+//! Backward: [`attention_block_bwd`] computes one `(Q-block, KV-block)`
+//! tile of the gradient from the saved `lse` and the row dot
+//! `D = rowsum(dO ⊙ O)` ([`rowwise_dot`]), accumulating into `dq`, `dk`,
+//! `dv`. FPDT's nested KV-outer/Q-inner loop (paper Figure 7) is a
+//! particular iteration order over these tiles.
+
+use crate::{check_qkv, shd, Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Log-sum-exp side output of the forward pass: one `f32` per
+/// `(query row, head)`, flattened row-major `[sq * h]`.
+pub type Lse = Vec<f32>;
+
+/// Streaming attention accumulator for one query block.
+///
+/// # Example
+///
+/// ```
+/// use fpdt_attention::{online::OnlineAttention, reference};
+/// use fpdt_tensor::{init, Tensor};
+/// # fn main() -> Result<(), fpdt_tensor::TensorError> {
+/// let mut rng = init::seeded_rng(0);
+/// let q = init::randn(&mut rng, &[4, 1, 8], 1.0);
+/// let k = init::randn(&mut rng, &[4, 1, 8], 1.0);
+/// let v = init::randn(&mut rng, &[4, 1, 8], 1.0);
+///
+/// let mut state = OnlineAttention::new(&q, &[0, 1, 2, 3], None)?;
+/// state.update(&k.narrow(0, 0, 2)?, &v.narrow(0, 0, 2)?, &[0, 1])?;
+/// state.update(&k.narrow(0, 2, 2)?, &v.narrow(0, 2, 2)?, &[2, 3])?;
+/// let (o, _lse) = state.finalize();
+///
+/// let full = reference::causal_attention(&q, &k, &v)?;
+/// assert!(o.allclose(&full, 1e-4, 1e-5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineAttention {
+    q: Tensor,
+    q_pos: Vec<usize>,
+    acc: Vec<f32>,
+    m: Vec<f32>,
+    l: Vec<f32>,
+    scale: f32,
+    h: usize,
+    d: usize,
+}
+
+impl OnlineAttention {
+    /// Starts an accumulator for query block `q: [sq, h, d]` whose rows sit
+    /// at global positions `q_pos`. `scale` defaults to `1/sqrt(d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `q` is rank 3 and
+    /// `q_pos.len() == sq`.
+    pub fn new(q: &Tensor, q_pos: &[usize], scale: Option<f32>) -> Result<Self> {
+        let (sq, h, d) = shd(q, "online_attention")?;
+        if q_pos.len() != sq {
+            return Err(TensorError::ShapeMismatch {
+                op: "online_attention",
+                lhs: vec![sq],
+                rhs: vec![q_pos.len()],
+            });
+        }
+        Ok(OnlineAttention {
+            q: q.clone(),
+            q_pos: q_pos.to_vec(),
+            acc: vec![0.0; sq * h * d],
+            m: vec![f32::NEG_INFINITY; sq * h],
+            l: vec![0.0; sq * h],
+            scale: scale.unwrap_or_else(|| crate::default_scale(d)),
+            h,
+            d,
+        })
+    }
+
+    /// Number of query rows.
+    pub fn rows(&self) -> usize {
+        self.q_pos.len()
+    }
+
+    /// Folds one KV block into the state using the online-softmax
+    /// recurrence. Blocks may arrive in any order; the final output is
+    /// order-independent up to float reassociation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `k`/`v` disagree with the query block's
+    /// heads/head-dim or `kv_pos.len()` differs from the block length.
+    pub fn update(&mut self, k: &Tensor, v: &Tensor, kv_pos: &[usize]) -> Result<()> {
+        let (_, sk, h, hkv, d) = check_qkv(&self.q, k, v, "online_attention_update")?;
+        if kv_pos.len() != sk {
+            return Err(TensorError::ShapeMismatch {
+                op: "online_attention_update",
+                lhs: vec![sk],
+                rhs: vec![kv_pos.len()],
+            });
+        }
+        debug_assert_eq!(h, self.h);
+        debug_assert_eq!(d, self.d);
+        let ratio = h / hkv; // GQA: query heads per KV head
+        let qd = self.q.data();
+        let kd = k.data();
+        let vd = v.data();
+        let scale = self.scale;
+        let q_pos = &self.q_pos;
+        let hd = h * d;
+        let hkvd = hkv * d;
+        // Parallel over query rows: each row owns disjoint acc/m/l slices.
+        self.acc
+            .par_chunks_mut(hd)
+            .zip(self.m.par_chunks_mut(h))
+            .zip(self.l.par_chunks_mut(h))
+            .enumerate()
+            .for_each(|(a, ((acc_row, m_row), l_row))| {
+                let mut scores = vec![0.0f32; sk];
+                for head in 0..h {
+                    let kvh = head / ratio;
+                    let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+                    let mut blk_max = f32::NEG_INFINITY;
+                    let mut any = false;
+                    for b in 0..sk {
+                        if kv_pos[b] <= q_pos[a] {
+                            let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                            let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
+                            scores[b] = dot * scale;
+                            blk_max = blk_max.max(scores[b]);
+                            any = true;
+                        } else {
+                            scores[b] = f32::NEG_INFINITY;
+                        }
+                    }
+                    if !any {
+                        continue;
+                    }
+                    let m_new = m_row[head].max(blk_max);
+                    let correction = if m_row[head].is_finite() {
+                        (m_row[head] - m_new).exp()
+                    } else {
+                        0.0
+                    };
+                    let acc_h = &mut acc_row[head * d..head * d + d];
+                    for o in acc_h.iter_mut() {
+                        *o *= correction;
+                    }
+                    let mut block_l = 0.0f32;
+                    for b in 0..sk {
+                        if !scores[b].is_finite() {
+                            continue;
+                        }
+                        let p = (scores[b] - m_new).exp();
+                        block_l += p;
+                        let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                        for (o, &vv) in acc_h.iter_mut().zip(v_row) {
+                            *o += p * vv;
+                        }
+                    }
+                    l_row[head] = l_row[head] * correction + block_l;
+                    m_row[head] = m_new;
+                }
+            });
+        Ok(())
+    }
+
+    /// Finishes the accumulation: returns the attention output
+    /// `[sq, h, d]` and the per-row/`head` log-sum-exp (`m + ln l`;
+    /// `-inf` for rows that attended to nothing, whose output is zero).
+    pub fn finalize(self) -> (Tensor, Lse) {
+        let sq = self.q_pos.len();
+        let (h, d) = (self.h, self.d);
+        let mut out = self.acc;
+        let mut lse = vec![f32::NEG_INFINITY; sq * h];
+        for a in 0..sq {
+            for head in 0..h {
+                let l = self.l[a * h + head];
+                let m = self.m[a * h + head];
+                let o = &mut out[(a * h + head) * d..(a * h + head) * d + d];
+                if l > 0.0 {
+                    for x in o.iter_mut() {
+                        *x /= l;
+                    }
+                    lse[a * h + head] = m + l.ln();
+                } else {
+                    o.fill(0.0);
+                }
+            }
+        }
+        (
+            Tensor::from_vec(out, &[sq, h, d]).expect("buffer sized by construction"),
+            lse,
+        )
+    }
+}
+
+/// Computes `D[a, head] = sum_i dout[a, head, i] * o[a, head, i]`, the row
+/// dot-product the blockwise backward needs once per query block.
+///
+/// # Errors
+///
+/// Returns a shape error unless `o` and `dout` are identical rank-3 shapes.
+pub fn rowwise_dot(o: &Tensor, dout: &Tensor) -> Result<Vec<f32>> {
+    let (sq, h, d) = shd(o, "rowwise_dot")?;
+    if o.shape() != dout.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "rowwise_dot",
+            lhs: o.shape().to_vec(),
+            rhs: dout.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; sq * h];
+    for (r, o_row) in out.iter_mut().enumerate() {
+        let base = r * d;
+        *o_row = o.data()[base..base + d]
+            .iter()
+            .zip(&dout.data()[base..base + d])
+            .map(|(&x, &y)| x * y)
+            .sum();
+    }
+    Ok(out)
+}
+
+/// Accumulates one `(Q-block, KV-block)` tile of the attention gradient.
+///
+/// Inputs are the forward operands of the tile plus the query block's saved
+/// `lse` (from [`OnlineAttention::finalize`]) and `dsum` (from
+/// [`rowwise_dot`] over the *finalized* output). Gradients are added into
+/// `dq` (shape of `q`), `dk` and `dv` (shape of `k`).
+///
+/// Running this over all causally-visible tiles in any order reproduces the
+/// reference gradient; FPDT's Figure-7 schedule iterates KV-outer/Q-inner
+/// so `dk`/`dv` finalize per outer step and `dq` per inner sweep.
+///
+/// # Errors
+///
+/// Returns a shape error when any operand disagrees with the tile shape.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_block_bwd(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    dout: &Tensor,
+    lse: &[f32],
+    dsum: &[f32],
+    q_pos: &[usize],
+    kv_pos: &[usize],
+    scale: f32,
+    dq: &mut Tensor,
+    dk: &mut Tensor,
+    dv: &mut Tensor,
+) -> Result<()> {
+    let (sq, sk, h, hkv, d) = check_qkv(q, k, v, "attention_block_bwd")?;
+    if dout.shape() != q.shape()
+        || dq.shape() != q.shape()
+        || dk.shape() != k.shape()
+        || dv.shape() != v.shape()
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention_block_bwd",
+            lhs: q.shape().to_vec(),
+            rhs: dout.shape().to_vec(),
+        });
+    }
+    if lse.len() != sq * h || dsum.len() != sq * h || q_pos.len() != sq || kv_pos.len() != sk {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention_block_bwd",
+            lhs: vec![sq * h, sq, sk],
+            rhs: vec![lse.len(), q_pos.len(), kv_pos.len()],
+        });
+    }
+    let ratio = h / hkv;
+    let hd = h * d;
+    let hkvd = hkv * d;
+    let qd = q.data();
+    let kd = k.data();
+    let vd = v.data();
+    let dod = dout.data();
+
+    // Pass 1: dq — parallel over query rows (disjoint output rows).
+    dq.data_mut()
+        .par_chunks_mut(hd)
+        .enumerate()
+        .for_each(|(a, dq_row)| {
+            for head in 0..h {
+                let kvh = head / ratio;
+                let l = lse[a * h + head];
+                if !l.is_finite() {
+                    continue;
+                }
+                let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+                let do_row = &dod[a * hd + head * d..a * hd + head * d + d];
+                let dsum_a = dsum[a * h + head];
+                let dq_h = &mut dq_row[head * d..head * d + d];
+                for b in 0..sk {
+                    if kv_pos[b] > q_pos[a] {
+                        continue;
+                    }
+                    let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                    let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                    let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
+                    let p = (dot * scale - l).exp();
+                    let dp: f32 = do_row.iter().zip(v_row).map(|(&x, &y)| x * y).sum();
+                    let ds = p * (dp - dsum_a) * scale;
+                    for (o, &kk) in dq_h.iter_mut().zip(k_row) {
+                        *o += ds * kk;
+                    }
+                }
+            }
+        });
+
+    // Pass 2: dk/dv — parallel over key rows (disjoint output rows). Each
+    // KV head accumulates over its `ratio` query heads.
+    let dk_data = dk.data_mut();
+    let dv_data = dv.data_mut();
+    dk_data
+        .par_chunks_mut(hkvd)
+        .zip(dv_data.par_chunks_mut(hkvd))
+        .enumerate()
+        .for_each(|(b, (dk_row, dv_row))| {
+            for head in 0..h {
+                let kvh = head / ratio;
+                let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+                let dk_h_base = kvh * d;
+                for a in 0..sq {
+                    if kv_pos[b] > q_pos[a] {
+                        continue;
+                    }
+                    let l = lse[a * h + head];
+                    if !l.is_finite() {
+                        continue;
+                    }
+                    let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+                    let do_row = &dod[a * hd + head * d..a * hd + head * d + d];
+                    let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
+                    let p = (dot * scale - l).exp();
+                    let dp: f32 = do_row.iter().zip(v_row).map(|(&x, &y)| x * y).sum();
+                    let ds = p * (dp - dsum[a * h + head]) * scale;
+                    for i in 0..d {
+                        dk_row[dk_h_base + i] += ds * q_row[i];
+                        dv_row[dk_h_base + i] += p * do_row[i];
+                    }
+                }
+            }
+        });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fpdt_tensor::init;
+
+    fn rand_qkv(seed: u64, s: usize, h: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+        let mut rng = init::seeded_rng(seed);
+        (
+            init::randn(&mut rng, &[s, h, d], 1.0),
+            init::randn(&mut rng, &[s, h, d], 1.0),
+            init::randn(&mut rng, &[s, h, d], 1.0),
+        )
+    }
+
+    #[test]
+    fn single_block_matches_reference() {
+        let (q, k, v) = rand_qkv(0, 12, 2, 8);
+        let pos: Vec<usize> = (0..12).collect();
+        let mut st = OnlineAttention::new(&q, &pos, None).unwrap();
+        st.update(&k, &v, &pos).unwrap();
+        let (o, lse) = st.finalize();
+        let want = reference::causal_attention(&q, &k, &v).unwrap();
+        assert!(o.allclose(&want, 1e-4, 1e-5));
+        assert!(lse.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn multi_block_matches_reference() {
+        let (q, k, v) = rand_qkv(1, 16, 2, 4);
+        let pos: Vec<usize> = (0..16).collect();
+        let mut st = OnlineAttention::new(&q, &pos, None).unwrap();
+        for c in 0..4 {
+            let kc = k.narrow(0, c * 4, 4).unwrap();
+            let vc = v.narrow(0, c * 4, 4).unwrap();
+            st.update(&kc, &vc, &pos[c * 4..(c + 1) * 4]).unwrap();
+        }
+        let (o, _) = st.finalize();
+        let want = reference::causal_attention(&q, &k, &v).unwrap();
+        assert!(o.allclose(&want, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn block_arrival_order_is_irrelevant() {
+        let (q, k, v) = rand_qkv(2, 12, 1, 4);
+        let pos: Vec<usize> = (0..12).collect();
+        let run = |order: &[usize]| {
+            let mut st = OnlineAttention::new(&q, &pos, None).unwrap();
+            for &c in order {
+                let kc = k.narrow(0, c * 4, 4).unwrap();
+                let vc = v.narrow(0, c * 4, 4).unwrap();
+                st.update(&kc, &vc, &pos[c * 4..(c + 1) * 4]).unwrap();
+            }
+            st.finalize().0
+        };
+        let fwd = run(&[0, 1, 2]);
+        let rev = run(&[2, 1, 0]);
+        assert!(fwd.allclose(&rev, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn query_chunk_in_middle_of_sequence() {
+        // A query chunk at positions 8..12 attending over the whole prefix,
+        // exactly like FPDT's chunk T_m.
+        let (qfull, k, v) = rand_qkv(3, 16, 2, 4);
+        let pos: Vec<usize> = (0..16).collect();
+        let q = qfull.narrow(0, 8, 4).unwrap();
+        let mut st = OnlineAttention::new(&q, &pos[8..12], None).unwrap();
+        for c in 0..4 {
+            let kc = k.narrow(0, c * 4, 4).unwrap();
+            let vc = v.narrow(0, c * 4, 4).unwrap();
+            st.update(&kc, &vc, &pos[c * 4..(c + 1) * 4]).unwrap();
+        }
+        let (o, _) = st.finalize();
+        let full = reference::causal_attention(&qfull, &k, &v).unwrap();
+        let want = full.narrow(0, 8, 4).unwrap();
+        assert!(o.allclose(&want, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn unseen_rows_have_zero_output_and_neg_inf_lse() {
+        let (q, k, v) = rand_qkv(4, 4, 1, 4);
+        // KV chunk strictly in the future of every query.
+        let mut st = OnlineAttention::new(&q, &[0, 1, 2, 3], None).unwrap();
+        st.update(&k, &v, &[10, 11, 12, 13]).unwrap();
+        let (o, lse) = st.finalize();
+        assert_eq!(o.max_abs(), 0.0);
+        assert!(lse.iter().all(|x| *x == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn blockwise_backward_matches_reference() {
+        let (q, k, v) = rand_qkv(5, 12, 2, 4);
+        let mut rng = init::seeded_rng(6);
+        let dout = init::randn(&mut rng, &[12, 2, 4], 1.0);
+        let pos: Vec<usize> = (0..12).collect();
+        let scale = crate::default_scale(4);
+
+        // forward to get o and lse
+        let mut st = OnlineAttention::new(&q, &pos, None).unwrap();
+        st.update(&k, &v, &pos).unwrap();
+        let (o, lse) = st.finalize();
+        let dsum = rowwise_dot(&o, &dout).unwrap();
+
+        // tile the backward 3x3 in arbitrary order
+        let mut dq = Tensor::zeros(q.shape());
+        let mut dk = Tensor::zeros(k.shape());
+        let mut dv = Tensor::zeros(v.shape());
+        for &jb in &[2usize, 0, 1] {
+            for &ia in &[1usize, 2, 0] {
+                let qs = q.narrow(0, ia * 4, 4).unwrap();
+                let dos = dout.narrow(0, ia * 4, 4).unwrap();
+                let ks = k.narrow(0, jb * 4, 4).unwrap();
+                let vs = v.narrow(0, jb * 4, 4).unwrap();
+                let mut dq_t = Tensor::zeros(qs.shape());
+                let mut dk_t = Tensor::zeros(ks.shape());
+                let mut dv_t = Tensor::zeros(vs.shape());
+                attention_block_bwd(
+                    &qs,
+                    &ks,
+                    &vs,
+                    &dos,
+                    &lse[ia * 4 * 2..(ia + 1) * 4 * 2],
+                    &dsum[ia * 4 * 2..(ia + 1) * 4 * 2],
+                    &pos[ia * 4..(ia + 1) * 4],
+                    &pos[jb * 4..(jb + 1) * 4],
+                    scale,
+                    &mut dq_t,
+                    &mut dk_t,
+                    &mut dv_t,
+                )
+                .unwrap();
+                // scatter-add tile results
+                for (i, val) in dq_t.data().iter().enumerate() {
+                    dq.data_mut()[ia * 4 * 8 + i] += val;
+                }
+                for (i, val) in dk_t.data().iter().enumerate() {
+                    dk.data_mut()[jb * 4 * 8 + i] += val;
+                }
+                for (i, val) in dv_t.data().iter().enumerate() {
+                    dv.data_mut()[jb * 4 * 8 + i] += val;
+                }
+            }
+        }
+
+        let (rdq, rdk, rdv) = reference::causal_attention_bwd(&q, &k, &v, &dout).unwrap();
+        assert!(dq.allclose(&rdq, 1e-3, 1e-4), "dq mismatch");
+        assert!(dk.allclose(&rdk, 1e-3, 1e-4), "dk mismatch");
+        assert!(dv.allclose(&rdv, 1e-3, 1e-4), "dv mismatch");
+    }
+
+    #[test]
+    fn rowwise_dot_basics() {
+        let o = Tensor::ones(&[2, 1, 3]);
+        let dout = Tensor::full(&[2, 1, 3], 2.0);
+        assert_eq!(rowwise_dot(&o, &dout).unwrap(), vec![6.0, 6.0]);
+        assert!(rowwise_dot(&o, &Tensor::ones(&[2, 1, 4])).is_err());
+    }
+
+    #[test]
+    fn constructor_errors() {
+        let q = Tensor::zeros(&[4, 2, 8]);
+        assert!(OnlineAttention::new(&q, &[0, 1], None).is_err());
+        assert!(OnlineAttention::new(&Tensor::zeros(&[4, 2]), &[0; 4], None).is_err());
+        let mut st = OnlineAttention::new(&q, &[0, 1, 2, 3], None).unwrap();
+        assert_eq!(st.rows(), 4);
+        let k = Tensor::zeros(&[4, 2, 8]);
+        assert!(st.update(&k, &k, &[0, 1]).is_err());
+        assert!(st.update(&Tensor::zeros(&[4, 1, 8]), &k, &[0; 4]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Real-kernel analogue of paper Figure 10: measured latency of the
+//! attention implementations (reference / online / chunked, forward and
+//! backward) as the sequence grows. The *relative* shape — quadratic
+//! growth, backward ≈ 2.5x forward, chunking ≈ free — mirrors the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpdt_attention::{chunked, online::OnlineAttention, reference};
+use fpdt_tensor::{init, Tensor};
+use std::hint::black_box;
+
+fn rand_qkv(s: usize, h: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+    let mut rng = init::seeded_rng(0);
+    (
+        init::randn(&mut rng, &[s, h, d], 1.0),
+        init::randn(&mut rng, &[s, h, d], 1.0),
+        init::randn(&mut rng, &[s, h, d], 1.0),
+    )
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attention_forward");
+    g.sample_size(10);
+    for &s in &[128usize, 256, 512] {
+        let (q, k, v) = rand_qkv(s, 8, 64);
+        g.throughput(Throughput::Elements((s * s) as u64));
+        g.bench_with_input(BenchmarkId::new("reference", s), &s, |b, _| {
+            b.iter(|| black_box(reference::causal_attention(&q, &k, &v).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("online_single_block", s), &s, |b, _| {
+            b.iter(|| {
+                let pos: Vec<usize> = (0..s).collect();
+                let mut st = OnlineAttention::new(&q, &pos, None).unwrap();
+                st.update(&k, &v, &pos).unwrap();
+                black_box(st.finalize().0)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("chunked_8", s), &s, |b, _| {
+            b.iter(|| black_box(chunked::causal_attention_chunked(&q, &k, &v, 8).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attention_backward");
+    g.sample_size(10);
+    for &s in &[128usize, 256] {
+        let (q, k, v) = rand_qkv(s, 8, 64);
+        let mut rng = init::seeded_rng(1);
+        let dout = init::randn(&mut rng, &[s, 8, 64], 1.0);
+        let (o, lse) = chunked::causal_attention_chunked(&q, &k, &v, 8).unwrap();
+        g.bench_with_input(BenchmarkId::new("reference", s), &s, |b, _| {
+            b.iter(|| black_box(reference::causal_attention_bwd(&q, &k, &v, &dout).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("chunked_nested_loop_8", s), &s, |b, _| {
+            b.iter(|| {
+                black_box(
+                    chunked::causal_attention_chunked_bwd(&q, &k, &v, &o, &dout, &lse, 8).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_count_sweep(c: &mut Criterion) {
+    // Figure 12's MFU-vs-chunk-size tradeoff, kernel view: more chunks
+    // should cost little compute (the memory win is free).
+    let mut g = c.benchmark_group("chunk_count_sweep_s512");
+    g.sample_size(10);
+    let (q, k, v) = rand_qkv(512, 8, 64);
+    for &u in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(u), &u, |b, &u| {
+            b.iter(|| black_box(chunked::causal_attention_chunked(&q, &k, &v, u).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_backward,
+    bench_chunk_count_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Collective-communication benchmarks over the thread-group runtime.
+//! Numbers include group spawn (4 scoped threads) — the interesting part
+//! is the *scaling* across payload sizes and the all-to-all vs
+//! all-gather volume difference the paper's §2.2 analysis relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpdt_comm::run_group;
+use std::hint::black_box;
+
+const WORLD: usize = 4;
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let mut g = c.benchmark_group("all_to_all_w4");
+    g.sample_size(10);
+    for &n in &[1024usize, 16 * 1024, 256 * 1024] {
+        g.throughput(Throughput::Bytes((n * WORLD * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run_group(WORLD, |comm| {
+                    let parts: Vec<Vec<f32>> = (0..WORLD).map(|p| vec![p as f32; n]).collect();
+                    black_box(comm.all_to_all(parts).unwrap())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_all_gather_reduce_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ag_rs_w4");
+    g.sample_size(10);
+    let n = 64 * 1024usize;
+    g.bench_function("all_gather", |b| {
+        b.iter(|| {
+            run_group(WORLD, |comm| {
+                let mine = vec![comm.rank() as f32; n];
+                black_box(comm.all_gather(&mine))
+            })
+        })
+    });
+    g.bench_function("reduce_scatter", |b| {
+        b.iter(|| {
+            run_group(WORLD, |comm| {
+                let parts: Vec<Vec<f32>> = (0..WORLD).map(|_| vec![1.0f32; n]).collect();
+                black_box(comm.reduce_scatter(parts).unwrap())
+            })
+        })
+    });
+    g.bench_function("all_reduce", |b| {
+        b.iter(|| {
+            run_group(WORLD, |comm| {
+                let mine = vec![comm.rank() as f32; n];
+                black_box(comm.all_reduce(&mine).unwrap())
+            })
+        })
+    });
+    g.bench_function("ring_exchange", |b| {
+        b.iter(|| {
+            run_group(WORLD, |comm| {
+                black_box(comm.ring_exchange(vec![0.5f32; n]).unwrap())
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_all_to_all, bench_all_gather_reduce_scatter);
+criterion_main!(benches);

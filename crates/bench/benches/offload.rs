@@ -1,0 +1,51 @@
+//! Host-pool throughput: the offload/fetch path the double buffer must
+//! hide. On the real hardware this is a PCIe DMA; here it is a move into
+//! the keyed store — the benchmark documents the runtime's bookkeeping
+//! cost, which must stay negligible next to attention compute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpdt_core::offload::{BufKind, ChunkKey, HostPool};
+use fpdt_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_offload_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_pool_round_trip");
+    g.sample_size(20);
+    for &n in &[1024usize, 64 * 1024, 1024 * 1024] {
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let t = Tensor::zeros(&[n]);
+            b.iter(|| {
+                let mut pool = HostPool::new();
+                let key = ChunkKey::new(0, BufKind::K, 0);
+                pool.offload(key, t.clone());
+                black_box(pool.fetch(&key).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_pattern(c: &mut Criterion) {
+    // The forward pattern: chunk i offloads its KV and re-reads chunks
+    // 0..i — u*(u+1)/2 fetches total.
+    let mut g = c.benchmark_group("streaming_pattern_u16");
+    g.sample_size(20);
+    let chunk = Tensor::zeros(&[16 * 1024]);
+    g.bench_function("fwd_fetch_pattern", |b| {
+        b.iter(|| {
+            let mut pool = HostPool::new();
+            for i in 0..16usize {
+                for j in 0..i {
+                    black_box(pool.fetch_keep(&ChunkKey::new(0, BufKind::K, j)).unwrap());
+                }
+                pool.offload(ChunkKey::new(0, BufKind::K, i), chunk.clone());
+            }
+            pool.stats()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_offload_fetch, bench_streaming_pattern);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end benchmarks: one real training step under each mode, and
+//! the discrete-event pipeline simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpdt_core::pipeline::{simulate_block, PipelineOpts};
+use fpdt_core::runtime::{train, Mode, TrainConfig};
+use fpdt_model::config::ModelConfig;
+use fpdt_sim::hw::ClusterSpec;
+use std::hint::black_box;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_step_tiny_gpt");
+    g.sample_size(10);
+    let base = TrainConfig {
+        model: ModelConfig::tiny(2, 32, 4, 50),
+        world: 2,
+        seq: 64,
+        steps: 1,
+        lr: 1e-3,
+        seed: 0,
+        mode: Mode::Single,
+        ..TrainConfig::default()
+    };
+    for (label, mode) in [
+        ("single", Mode::Single),
+        ("ulysses_w2", Mode::Ulysses),
+        (
+            "fpdt_w2_u4",
+            Mode::Fpdt {
+                chunks: 4,
+                offload: false,
+            },
+        ),
+        (
+            "fpdt_w2_u4_offload",
+            Mode::Fpdt {
+                chunks: 4,
+                offload: true,
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(train(&TrainConfig {
+                    mode,
+                    ..base.clone()
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_simulate_block");
+    g.sample_size(10);
+    let model = ModelConfig::llama3_8b();
+    let cluster = ClusterSpec::a100_80g(1, 4);
+    for &chunks in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, &u| {
+            b.iter(|| {
+                black_box(
+                    simulate_block(&model, &cluster, 1 << 21, PipelineOpts::paper(u)).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_training_step, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Microbenchmarks of the dense kernels behind the Transformer block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpdt_tensor::{init, ops, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = init::seeded_rng(0);
+        let a = init::randn(&mut rng, &[n, n], 1.0);
+        let b = init::randn(&mut rng, &[n, n], 1.0);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bn, _| {
+            bn.iter(|| black_box(ops::matmul(&a, &b).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_norms_and_activations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointwise");
+    g.sample_size(20);
+    let mut rng = init::seeded_rng(1);
+    let x = init::randn(&mut rng, &[1024, 512], 1.0);
+    let gamma = Tensor::ones(&[512]);
+    let beta = Tensor::zeros(&[512]);
+    g.bench_function("layernorm_1024x512", |b| {
+        b.iter(|| black_box(ops::layernorm(&x, &gamma, &beta, 1e-5).unwrap()))
+    });
+    g.bench_function("rmsnorm_1024x512", |b| {
+        b.iter(|| black_box(ops::rmsnorm(&x, &gamma, 1e-6).unwrap()))
+    });
+    g.bench_function("gelu_1024x512", |b| b.iter(|| black_box(ops::gelu(&x))));
+    g.bench_function("softmax_rows_1024x512", |b| {
+        b.iter(|| black_box(ops::softmax_rows(&x)))
+    });
+    g.finish();
+}
+
+fn bench_loss_head(c: &mut Criterion) {
+    // The §5.4 memory-spike operation: fused softmax cross-entropy,
+    // monolithic vs chunked — the compute cost of chunking is negligible.
+    let mut g = c.benchmark_group("cross_entropy_4096x1000");
+    g.sample_size(10);
+    let mut rng = init::seeded_rng(2);
+    let logits = init::randn(&mut rng, &[4096, 1000], 1.0);
+    let targets: Vec<usize> = (0..4096).map(|i| i % 1000).collect();
+    g.bench_function("monolithic", |b| {
+        b.iter(|| black_box(ops::cross_entropy(&logits, &targets, usize::MAX).unwrap()))
+    });
+    g.bench_function("chunked_16", |b| {
+        b.iter(|| {
+            let mut loss = 0.0;
+            for c in 0..16 {
+                let part = logits.narrow(0, c * 256, 256).unwrap();
+                loss += ops::cross_entropy(&part, &targets[c * 256..(c + 1) * 256], usize::MAX)
+                    .unwrap()
+                    .loss_sum;
+            }
+            black_box(loss)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rope");
+    g.sample_size(20);
+    let mut rng = init::seeded_rng(3);
+    let x = init::randn(&mut rng, &[1024, 8, 64], 1.0);
+    let pos: Vec<usize> = (0..1024).collect();
+    g.bench_function("rope_1024x8x64", |b| {
+        b.iter(|| black_box(ops::rope(&x, &pos, 10_000.0).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_norms_and_activations,
+    bench_loss_head,
+    bench_rope
+);
+criterion_main!(benches);

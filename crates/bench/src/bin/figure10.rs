@@ -1,0 +1,95 @@
+//! Figure 10: average time spent in all-to-all, attention forward,
+//! attention backward, and three host-to-device fetching strategies, as a
+//! function of the sequence chunk length.
+//!
+//! The crossover — attention compute overtaking fetch latency between 32K
+//! and 64K — is the quantitative basis for the paper's 64K default chunk.
+
+use fpdt_bench::write_json;
+use fpdt_sim::cost::CostModel;
+use fpdt_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    seq: u64,
+    all_to_all_ms: f64,
+    attn_fwd_ms: f64,
+    attn_bwd_ms: f64,
+    fetch_per_gpu_ms: f64,
+    fetch_scatter_ms: f64,
+    fetch_uncontended_ms: f64,
+}
+
+fn main() {
+    // One paper node: 4x A100-80G. Per-GPU share of a 32-head model with
+    // d=128 (h_local = 8 heads), bf16.
+    let cost = CostModel::new(ClusterSpec::a100_80g(1, 4));
+    let (h_local, d) = (8u64, 128u64);
+
+    println!("Figure 10: operator latency vs sequence chunk length (ms)\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "chunk", "all2all", "attn fwd", "attn bwd", "fetch/GPU", "fetch+scat", "fetch(1 GPU)"
+    );
+
+    let mut rows = Vec::new();
+    for log in 11..=19 {
+        let s = 1u64 << log; // 2K .. 512K
+        let qkv_bytes = 3 * s * h_local * d * 2;
+        let a2a = cost.all_to_all_time(qkv_bytes, 4) * 1e3;
+        let fwd = cost.attention_time((2 * s * s * h_local * d) as f64) * 1e3;
+        let bwd = cost.attention_time((5 * s * s * h_local * d) as f64) * 1e3;
+        let fetch_shared = cost.h2d_time(qkv_bytes, 4) * 1e3;
+        let fetch_scatter = cost.h2d_via_scatter_time(qkv_bytes, 4) * 1e3;
+        let fetch_solo = cost.h2d_time(qkv_bytes, 1) * 1e3;
+        println!(
+            "{:>7}K {:>10.2} {:>10.2} {:>10.2} {:>12.2} {:>12.2} {:>14.2}",
+            s / 1024,
+            a2a,
+            fwd,
+            bwd,
+            fetch_shared,
+            fetch_scatter,
+            fetch_solo
+        );
+        rows.push(Row {
+            seq: s,
+            all_to_all_ms: a2a,
+            attn_fwd_ms: fwd,
+            attn_bwd_ms: bwd,
+            fetch_per_gpu_ms: fetch_shared,
+            fetch_scatter_ms: fetch_scatter,
+            fetch_uncontended_ms: fetch_solo,
+        });
+    }
+    // Exact crossovers: attention is a*s^2, fetch is lat + b*s; solve for
+    // the sequence length where the compute curve overtakes the transfer.
+    let solve = |attn_at: fn(&Row) -> f64| {
+        rows.windows(2).find_map(|w| {
+            let (lo, hi) = (&w[0], &w[1]);
+            (attn_at(lo) < lo.fetch_per_gpu_ms && attn_at(hi) >= hi.fetch_per_gpu_ms).then(|| {
+                // geometric interpolation between rungs
+                let f = (lo.fetch_per_gpu_ms / attn_at(lo)).ln()
+                    / ((attn_at(hi) / attn_at(lo)).ln()
+                        - (hi.fetch_per_gpu_ms / lo.fetch_per_gpu_ms).ln());
+                (lo.seq as f64 * 2f64.powf(f)) as u64
+            })
+        })
+    };
+    if let Some(c) = solve(|r| r.attn_fwd_ms) {
+        println!(
+            "\nattention fwd overtakes shared fetch at ~{}K tokens",
+            c / 1024
+        );
+    }
+    if let Some(c) = solve(|r| r.attn_bwd_ms) {
+        println!(
+            "attention bwd overtakes shared fetch at ~{}K tokens",
+            c / 1024
+        );
+    }
+    println!("paper reference (Figure 10): all2all far below everything (NVLink);");
+    println!("fetch strategies converge as chunks grow; crossover at 32K-64K.");
+    write_json("figure10", &rows);
+}

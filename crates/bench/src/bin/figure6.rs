@@ -1,0 +1,86 @@
+//! Figure 6: rank-ordinal scattering of sequence chunks — show the
+//! loader-side layout and verify, with real kernels, that the diagonal
+//! causal mask stays valid after each chunked all-to-all.
+
+use fpdt_attention::reference;
+use fpdt_bench::write_json;
+use fpdt_comm::run_group;
+use fpdt_core::chunk::ChunkPlan;
+use fpdt_core::runtime::exec::{AttentionExec, DistAttention};
+use fpdt_tensor::{init, Tensor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Layout {
+    rank: usize,
+    chunk: usize,
+    segment: usize,
+}
+
+fn main() {
+    let (p, u) = (4usize, 4usize);
+    let plan = ChunkPlan::new(p * u, p, u).unwrap();
+    println!("Figure 6: rank-ordinal chunk scattering (p = {p} GPUs, u = {u} chunks)\n");
+    println!("loader assignment (segment T_k per GPU/chunk):");
+    let mut rows = Vec::new();
+    for r in 0..p {
+        let pos = plan.local_positions(r);
+        print!("  GPU {r}: ");
+        for (c, seg) in pos.iter().enumerate() {
+            print!("T_{seg:<3}");
+            rows.push(Layout {
+                rank: r,
+                chunk: c,
+                segment: *seg,
+            });
+        }
+        println!();
+    }
+    println!("\ngathered chunks after all-to-all (each contiguous in causality):");
+    for c in 0..u {
+        let g = plan.gathered_positions(c);
+        println!("  chunk {c}: T_{} .. T_{}", g[0], g[g.len() - 1]);
+    }
+
+    // Real-kernel validation: run distributed chunked attention over the
+    // shuffled layout and compare to the single-device reference.
+    let (s, h, d) = (32usize, 4usize, 8usize);
+    let mut rng = init::seeded_rng(0);
+    let q = init::randn(&mut rng, &[s, h, d], 1.0);
+    let k = init::randn(&mut rng, &[s, h, d], 1.0);
+    let v = init::randn(&mut rng, &[s, h, d], 1.0);
+    let want = reference::causal_attention(&q, &k, &v).unwrap();
+    let plan = ChunkPlan::new(s, p, 2).unwrap();
+
+    let errs = run_group(p, |comm| {
+        let rank = comm.rank();
+        let shard = |t: &Tensor| {
+            let parts: Vec<Tensor> = plan
+                .local_positions(rank)
+                .into_iter()
+                .map(|pos| t.narrow(0, pos, 1).unwrap())
+                .collect();
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Tensor::concat(&refs, 0).unwrap()
+        };
+        let mut ex = DistAttention::new(&comm, plan, true);
+        let pos = plan.local_positions(rank);
+        let o = ex
+            .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
+            .unwrap();
+        let expect = shard(&want);
+        o.data()
+            .iter()
+            .zip(expect.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    });
+
+    println!("\ncausal-mask validation with real chunked attention over the shuffled layout:");
+    for (r, e) in errs.iter().enumerate() {
+        println!("  GPU {r}: max |error| vs unshuffled reference = {e:.2e}");
+        assert!(*e < 1e-3);
+    }
+    println!("\nthe mask needs no special-casing: positions ride the shuffle.");
+    write_json("figure6", &rows);
+}

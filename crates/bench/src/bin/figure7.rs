@@ -1,0 +1,102 @@
+//! Figure 7: the double-buffered three-stream backward pipeline,
+//! visualized. Exports the simulated schedule as a Chrome trace
+//! (`target/experiments/figure7_trace.json` — open in `chrome://tracing`
+//! or Perfetto) and prints overlap statistics: how much of the PCIe
+//! traffic hides under attention compute.
+
+use fpdt_bench::write_json;
+use fpdt_core::pipeline::{simulate_block, PipelineOpts};
+use fpdt_model::config::ModelConfig;
+use fpdt_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+#[serde(rename_all = "camelCase")]
+struct TraceEvent {
+    name: String,
+    ph: &'static str,
+    ts: f64, // microseconds
+    dur: f64,
+    pid: u32,
+    tid: String,
+}
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let cluster = ClusterSpec::a100_80g(1, 4);
+    let seq = 512 * 1024;
+    let opts = PipelineOpts::paper(8);
+    let rep = simulate_block(&model, &cluster, seq, opts).expect("simulation runs");
+
+    // Chrome trace: one lane per stream, GPU 0 only.
+    let events: Vec<TraceEvent> = rep
+        .records
+        .iter()
+        .filter(|r| r.stream.starts_with("gpu0."))
+        .map(|r| TraceEvent {
+            name: r.name.clone(),
+            ph: "X",
+            ts: r.start * 1e6,
+            dur: (r.finish - r.start) * 1e6,
+            pid: 0,
+            tid: r.stream.clone(),
+        })
+        .collect();
+    write_json("figure7_trace", &events);
+
+    // Overlap statistics: how much copy-stream busy time coincides with
+    // compute-stream busy time?
+    let busy = |stream: &str| -> Vec<(f64, f64)> {
+        let mut spans: Vec<(f64, f64)> = rep
+            .records
+            .iter()
+            .filter(|r| r.stream == stream && r.finish > r.start)
+            .map(|r| (r.start, r.finish))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        spans
+    };
+    let overlap = |a: &[(f64, f64)], b: &[(f64, f64)]| -> f64 {
+        let mut total = 0.0;
+        for &(s1, e1) in a {
+            for &(s2, e2) in b {
+                let lo = s1.max(s2);
+                let hi = e1.min(e2);
+                if hi > lo {
+                    total += hi - lo;
+                }
+            }
+        }
+        total
+    };
+    let compute = busy("gpu0.compute");
+    let h2d = busy("gpu0.h2d");
+    let d2h = busy("gpu0.d2h");
+    let sum = |s: &[(f64, f64)]| s.iter().map(|&(a, b)| b - a).sum::<f64>();
+
+    println!(
+        "Figure 7: FPDT three-stream pipeline — {} @ 512K, 8 chunks\n",
+        model.name
+    );
+    println!(
+        "stream busy time (block fwd+bwd = {:.1} ms):",
+        (rep.fwd_seconds + rep.bwd_seconds) * 1e3
+    );
+    println!("  compute: {:>8.1} ms", sum(&compute) * 1e3);
+    println!(
+        "  h2d    : {:>8.1} ms  ({:.1}% hidden under compute)",
+        sum(&h2d) * 1e3,
+        100.0 * overlap(&h2d, &compute) / sum(&h2d).max(1e-12)
+    );
+    println!(
+        "  d2h    : {:>8.1} ms  ({:.1}% hidden under compute)",
+        sum(&d2h) * 1e3,
+        100.0 * overlap(&d2h, &compute) / sum(&d2h).max(1e-12)
+    );
+    println!(
+        "\ntrace with {} events written for chrome://tracing / Perfetto",
+        events.len()
+    );
+    println!("paper reference (Figure 7): \"we overlap most offloading operations with");
+    println!("the attention gradients computation\" — the hidden fractions above quantify it.");
+}

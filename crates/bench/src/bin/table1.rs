@@ -1,0 +1,83 @@
+//! Table 1: maximum context length supported for LLM training with FPDT,
+//! per model size and hardware configuration.
+//!
+//! `-` means the model's sharded state alone cannot fit; `8M+` means the
+//! top of the tested ladder fits (the paper stops measuring there too).
+
+use fpdt_bench::{human_tokens, write_json};
+use fpdt_core::strategy::Fpdt;
+use fpdt_model::config::ModelConfig;
+use fpdt_parallel::{max_seq_len, seq_ladder};
+use fpdt_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    model: String,
+    hbm_gib: u64,
+    gpus: usize,
+    max_ctx: Option<u64>,
+    capped: bool,
+}
+
+fn cluster(hbm: u64, gpus: usize) -> ClusterSpec {
+    let (nodes, per_node) = if gpus <= 4 { (1, gpus) } else { (gpus / 4, 4) };
+    match hbm {
+        40 => ClusterSpec::a100_40g(nodes, per_node),
+        _ => ClusterSpec::a100_80g(nodes, per_node),
+    }
+}
+
+fn main() {
+    let fpdt = Fpdt::paper_default();
+    let top = *seq_ladder().last().unwrap();
+    let models = [
+        ModelConfig::gpt_2_7b(),
+        ModelConfig::llama3_8b(),
+        ModelConfig::gpt_13b(),
+        ModelConfig::gpt_30b(),
+        ModelConfig::llama_70b(),
+    ];
+    let configs: [(u64, usize); 8] = [
+        (40, 1),
+        (40, 2),
+        (40, 4),
+        (40, 8),
+        (80, 4),
+        (80, 8),
+        (80, 16),
+        (80, 32),
+    ];
+
+    println!("Table 1: maximum context length with FPDT (rows: models; columns: hardware)\n");
+    print!("{:<12}", "model");
+    for (hbm, g) in configs {
+        print!("{:>10}", format!("{g}x{hbm}G"));
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for m in &models {
+        print!("{:<12}", m.name);
+        for (hbm, g) in configs {
+            let best = max_seq_len(&fpdt, m, &cluster(hbm, g));
+            let cell = match best {
+                None => "-".to_string(),
+                Some(s) if s >= top => format!("{}+", human_tokens(s)),
+                Some(s) => human_tokens(s),
+            };
+            print!("{cell:>10}");
+            rows.push(Cell {
+                model: m.name.clone(),
+                hbm_gib: hbm,
+                gpus: g,
+                max_ctx: best,
+                capped: best == Some(top),
+            });
+        }
+        println!();
+    }
+    println!("\npaper reference (Table 1): 2.7B reaches 2M on 4x40G; 8B reaches 2M on 4x80G");
+    println!("and 4M on 8x80G; 70B needs 16+ GPUs and reaches 4M on 32x80G.");
+    write_json("table1", &rows);
+}

@@ -1,0 +1,81 @@
+//! Table 2: memory footprint at each step in a Transformer block, in
+//! units of `N·d` activation elements, plus the concrete bytes for the
+//! paper's running example and the FPDT-chunked equivalents.
+
+use fpdt_bench::{gib, write_json};
+use fpdt_model::config::ModelConfig;
+use fpdt_model::memory::{table2_backward, table2_forward, BlockActivations};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    pass: &'static str,
+    hidden: u64,
+    qkv_proj: u64,
+    all2all: u64,
+    attention: u64,
+    ffn: u64,
+    other: u64,
+}
+
+fn main() {
+    let f = table2_forward();
+    let b = table2_backward();
+    println!("Table 2: activation units (x N*d) created per step of a Transformer block\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>11} {:>6} {:>11}",
+        "pass", "hidden", "QKV proj", "All2all", "attention", "FFN", "other ops"
+    );
+    println!(
+        "{:<10} {:>7}x {:>9}x {:>8}x {:>10}x {:>5}x {:>10}x",
+        "forward", f.hidden, f.qkv_proj, f.all2all, f.attention, f.ffn, f.other
+    );
+    println!(
+        "{:<10} {:>7}x {:>9}x {:>8} {:>10}x {:>5}x {:>10}",
+        "backward", b.hidden, b.qkv_proj, "-", b.attention, b.ffn, "-"
+    );
+
+    // Concrete instantiation: Llama-3 8B, 512K over 8 GPUs (Table 3 row).
+    let m = ModelConfig::llama3_8b();
+    let act = BlockActivations::new(&m, 65_536);
+    println!(
+        "\nconcrete working sets, {} at 64K local tokens per GPU:",
+        m.name
+    );
+    println!("  monolithic fwd  {:>7.2} GiB", gib(act.fwd_monolithic()));
+    println!(
+        "  monolithic bwd  {:>7.2} GiB   (FlashAttention bwd holds q,k,v,o,dO,dq,dk,dv)",
+        gib(act.bwd_monolithic())
+    );
+    for u in [4u64, 8, 16] {
+        println!(
+            "  FPDT u={u:<2} fwd   {:>7.2} GiB   bwd {:>6.2} GiB   (+offload: fwd {:>5.2} / bwd {:>5.2})",
+            gib(act.fwd_chunked(u)),
+            gib(act.bwd_chunked(u)),
+            gib(act.fwd_chunked_offload(u)),
+            gib(act.bwd_chunked_offload(u)),
+        );
+    }
+
+    let rows = vec![
+        Row {
+            pass: "forward",
+            hidden: f.hidden,
+            qkv_proj: f.qkv_proj,
+            all2all: f.all2all,
+            attention: f.attention,
+            ffn: f.ffn,
+            other: f.other,
+        },
+        Row {
+            pass: "backward",
+            hidden: b.hidden,
+            qkv_proj: b.qkv_proj,
+            all2all: b.all2all,
+            attention: b.attention,
+            ffn: b.ffn,
+            other: b.other,
+        },
+    ];
+    write_json("table2", &rows);
+}

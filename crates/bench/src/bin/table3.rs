@@ -1,0 +1,143 @@
+//! Table 3: a comprehensive analysis of long-context LLM training with
+//! different technique stacks — 8B Llama-3 on 8 GPUs. For each row:
+//! maximum context length, peak HBM at that length, and MFU.
+
+use fpdt_bench::{gib, human_tokens, write_json};
+use fpdt_core::strategy::Fpdt;
+use fpdt_model::config::ModelConfig;
+use fpdt_parallel::megatron::MegatronSp;
+use fpdt_parallel::ulysses::Ulysses;
+use fpdt_parallel::zero::ZeroStage;
+use fpdt_parallel::{max_seq_len, Strategy, TrainSetup};
+use fpdt_sim::hw::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    max_ctx: Option<u64>,
+    hbm_gib: f64,
+    mfu: f64,
+}
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let cluster = ClusterSpec::a100_80g(2, 4); // 8 GPUs
+
+    let rows_spec: Vec<(String, Box<dyn Strategy>)> = vec![
+        (
+            "TP.".into(),
+            Box::new(MegatronSp::tensor_parallel_only(false, false)),
+        ),
+        (
+            "TP. + AC.".into(),
+            Box::new(MegatronSp::tensor_parallel_only(true, false)),
+        ),
+        (
+            "TP. + AC. + OC.".into(),
+            Box::new(MegatronSp::tensor_parallel_only(true, true)),
+        ),
+        (
+            "UL. + ZeRO-1".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::One,
+                activation_checkpoint: false,
+                offload_checkpoint: false,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "UL. + ZeRO-2".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::Two,
+                activation_checkpoint: false,
+                offload_checkpoint: false,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "UL. + ZeRO-3".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::Three,
+                activation_checkpoint: false,
+                offload_checkpoint: false,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "AC. + OC. + UL. + ZeRO-1".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::One,
+                activation_checkpoint: true,
+                offload_checkpoint: true,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "AC. + OC. + UL. + ZeRO-2".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::Two,
+                activation_checkpoint: true,
+                offload_checkpoint: true,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "AC. + OC. + UL. + ZeRO-3".into(),
+            Box::new(Ulysses {
+                zero: ZeroStage::Three,
+                activation_checkpoint: true,
+                offload_checkpoint: true,
+                loss_chunks: 4,
+            }),
+        ),
+        (
+            "AC. + OC. + ZeRO-3 + FPDT".into(),
+            Box::new(Fpdt::paper_default()),
+        ),
+    ];
+
+    println!(
+        "Table 3: training strategies for {} on 8 GPUs\n",
+        model.name
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>7}",
+        "strategy", "max len", "HBM", "MFU"
+    );
+
+    let mut rows = Vec::new();
+    for (label, strat) in &rows_spec {
+        let best = max_seq_len(strat.as_ref(), &model, &cluster);
+        match best {
+            Some(s) => {
+                let est = strat.estimate(&TrainSetup::new(model.clone(), cluster.clone(), s));
+                println!(
+                    "{:<28} {:>9} {:>8.1}G {:>6.1}%",
+                    label,
+                    human_tokens(s),
+                    gib(est.peak_hbm),
+                    est.mfu * 100.0
+                );
+                rows.push(Row {
+                    strategy: label.clone(),
+                    max_ctx: Some(s),
+                    hbm_gib: gib(est.peak_hbm),
+                    mfu: est.mfu,
+                });
+            }
+            None => {
+                println!("{label:<28} {:>9}", "-");
+                rows.push(Row {
+                    strategy: label.clone(),
+                    max_ctx: None,
+                    hbm_gib: 0.0,
+                    mfu: 0.0,
+                });
+            }
+        }
+    }
+    println!("\npaper reference (Table 3): TP 32K@9.4%; TP+AC 128K@19.4%; TP+AC+OC 512K@32.7%;");
+    println!("UL+ZeRO 64K@15-21%; AC+OC+UL+ZeRO 512K@46-47%; FPDT 4M@55.7% (68.0G).");
+    write_json("table3", &rows);
+}

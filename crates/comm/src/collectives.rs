@@ -1,0 +1,502 @@
+//! Collective operations built on the tagged point-to-point layer.
+//!
+//! All collectives are SPMD: every rank of the group must call the same
+//! operation with compatible arguments. Sends are buffered (channels are
+//! unbounded), so each collective can post all its sends before draining
+//! receives — no deadlock, no ordering games.
+
+use crate::group::Communicator;
+use crate::{CommError, Result};
+use fpdt_tensor::{Tensor, TensorError};
+
+impl Communicator {
+    /// All-to-all: rank `r` sends `parts[p]` to rank `p` and returns the
+    /// pieces received from every rank, in rank order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WrongPartCount`] unless `parts.len() == world`.
+    pub fn all_to_all(&self, parts: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>> {
+        if parts.len() != self.world() {
+            return Err(CommError::WrongPartCount {
+                op: "all_to_all",
+                expected: self.world(),
+                actual: parts.len(),
+            });
+        }
+        for (peer, part) in parts.into_iter().enumerate() {
+            self.send("all_to_all", peer, part)?;
+        }
+        (0..self.world())
+            .map(|peer| self.recv("all_to_all", peer))
+            .collect()
+    }
+
+    /// All-gather: every rank contributes one buffer and receives all
+    /// buffers in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer disconnects or diverges mid-collective (a rank
+    /// failure aborts the job, as in NCCL).
+    pub fn all_gather(&self, data: &[f32]) -> Vec<Vec<f32>> {
+        for peer in 0..self.world() {
+            self.send("all_gather", peer, data.to_vec())
+                .expect("group alive");
+        }
+        (0..self.world())
+            .map(|peer| self.recv("all_gather", peer).expect("group alive"))
+            .collect()
+    }
+
+    /// Reduce-scatter: rank `r` returns the rank-ordered sum of every
+    /// rank's `parts[r]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WrongPartCount`] for a bad part count and
+    /// [`CommError::LengthMismatch`] when contributions disagree in length.
+    pub fn reduce_scatter(&self, parts: Vec<Vec<f32>>) -> Result<Vec<f32>> {
+        if parts.len() != self.world() {
+            return Err(CommError::WrongPartCount {
+                op: "reduce_scatter",
+                expected: self.world(),
+                actual: parts.len(),
+            });
+        }
+        for (peer, part) in parts.into_iter().enumerate() {
+            self.send("reduce_scatter", peer, part)?;
+        }
+        let mut acc: Option<Vec<f32>> = None;
+        for peer in 0..self.world() {
+            let piece = self.recv("reduce_scatter", peer)?;
+            match &mut acc {
+                None => acc = Some(piece),
+                Some(buf) => {
+                    if buf.len() != piece.len() {
+                        return Err(CommError::LengthMismatch {
+                            op: "reduce_scatter",
+                            expected: buf.len(),
+                            actual: piece.len(),
+                        });
+                    }
+                    for (a, b) in buf.iter_mut().zip(piece) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+        Ok(acc.unwrap_or_default())
+    }
+
+    /// All-reduce (sum): every rank returns the identical rank-ordered sum
+    /// of all contributions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::LengthMismatch`] when contributions disagree in
+    /// length.
+    pub fn all_reduce(&self, data: &[f32]) -> Result<Vec<f32>> {
+        let gathered = self.all_gather(data);
+        let mut acc = vec![0.0f32; data.len()];
+        for piece in gathered {
+            if piece.len() != acc.len() {
+                return Err(CommError::LengthMismatch {
+                    op: "all_reduce",
+                    expected: acc.len(),
+                    actual: piece.len(),
+                });
+            }
+            for (a, b) in acc.iter_mut().zip(piece) {
+                *a += b;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Broadcast from `root`: `data` is read on the root only; every rank
+    /// returns the root's buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for a bad root.
+    pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Result<Vec<f32>> {
+        if root >= self.world() {
+            return Err(CommError::RankOutOfRange {
+                rank: root,
+                world: self.world(),
+            });
+        }
+        if self.rank() == root {
+            let data = data.unwrap_or_default();
+            for peer in 0..self.world() {
+                self.send("broadcast", peer, data.clone())?;
+            }
+        }
+        self.recv("broadcast", root)
+    }
+
+    /// Scatter from `root`: the root supplies one buffer per rank; every
+    /// rank returns its piece. This is the "one GPU fetches, then scatters"
+    /// strategy of paper Figure 10.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for a bad root or
+    /// [`CommError::WrongPartCount`] for a bad part count at the root.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Vec<f32>>>) -> Result<Vec<f32>> {
+        if root >= self.world() {
+            return Err(CommError::RankOutOfRange {
+                rank: root,
+                world: self.world(),
+            });
+        }
+        if self.rank() == root {
+            let parts = parts.ok_or(CommError::WrongPartCount {
+                op: "scatter",
+                expected: self.world(),
+                actual: 0,
+            })?;
+            if parts.len() != self.world() {
+                return Err(CommError::WrongPartCount {
+                    op: "scatter",
+                    expected: self.world(),
+                    actual: parts.len(),
+                });
+            }
+            for (peer, part) in parts.into_iter().enumerate() {
+                self.send("scatter", peer, part)?;
+            }
+        }
+        self.recv("scatter", root)
+    }
+
+    /// Gather to `root`: every rank contributes; the root returns all
+    /// buffers in rank order, other ranks return `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for a bad root.
+    pub fn gather(&self, root: usize, data: Vec<f32>) -> Result<Option<Vec<Vec<f32>>>> {
+        if root >= self.world() {
+            return Err(CommError::RankOutOfRange {
+                rank: root,
+                world: self.world(),
+            });
+        }
+        self.send("gather", root, data)?;
+        if self.rank() == root {
+            let out: Result<Vec<Vec<f32>>> = (0..self.world())
+                .map(|peer| self.recv("gather", peer))
+                .collect();
+            Ok(Some(out?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// One step of a ring exchange: sends `data` to `(rank + 1) % world`
+    /// and returns the buffer received from `(rank - 1) % world` — the
+    /// primitive Ring Attention rotates KV blocks with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::PeerDisconnected`] if a neighbor died.
+    pub fn ring_exchange(&self, data: Vec<f32>) -> Result<Vec<f32>> {
+        let next = (self.rank() + 1) % self.world();
+        let prev = (self.rank() + self.world() - 1) % self.world();
+        self.send("ring_exchange", next, data)?;
+        self.recv("ring_exchange", prev)
+    }
+}
+
+/// Ulysses-style tensor all-to-all: scatter heads, gather sequence (and the
+/// inverse). This is the communication pattern of paper Figure 2, applied
+/// per FPDT chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllToAllLayout;
+
+impl AllToAllLayout {
+    /// Forward Ulysses all-to-all: each rank holds `x: [s_local, h, d]`
+    /// (full heads, local sequence) and receives
+    /// `[s_local * p, h / p, d]` (full sequence, local heads).
+    ///
+    /// Rank `r` keeps head group `r`. Received sequence pieces concatenate
+    /// in rank order, so the output rows are `rank 0`'s tokens first — the
+    /// ordering FPDT's rank-ordinal shuffle is designed around.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error when `h` is not divisible by the world
+    /// size, or a communication error if the group is unhealthy.
+    pub fn scatter_heads_gather_seq(
+        comm: &Communicator,
+        x: &Tensor,
+    ) -> std::result::Result<Tensor, Box<dyn std::error::Error + Send + Sync>> {
+        let p = comm.world();
+        if x.ndim() != 3 {
+            return Err(Box::new(TensorError::RankMismatch {
+                op: "ulysses_all_to_all",
+                expected: 3,
+                actual: x.ndim(),
+            }));
+        }
+        let (s_local, h, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        if h % p != 0 {
+            return Err(Box::new(TensorError::InvalidSlice {
+                what: format!("{h} heads not divisible by {p} ranks"),
+            }));
+        }
+        // Split along the head axis: part j = heads [j*h/p, (j+1)*h/p).
+        let parts = x.split(1, p)?;
+        let bufs: Vec<Vec<f32>> = parts.into_iter().map(Tensor::into_vec).collect();
+        let recv = comm.all_to_all(bufs)?;
+        // Each received piece is [s_local, h/p, d] from one rank; stack
+        // along the sequence axis in rank order.
+        let tensors: std::result::Result<Vec<Tensor>, TensorError> = recv
+            .into_iter()
+            .map(|buf| Tensor::from_vec(buf, &[s_local, h / p, d]))
+            .collect();
+        let tensors = tensors?;
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        Ok(Tensor::concat(&refs, 0)?)
+    }
+
+    /// Inverse Ulysses all-to-all: each rank holds `[s_global, h / p, d]`
+    /// and gets back `[s_global / p, h, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error when `s_global` is not divisible by
+    /// the world size, or a communication error.
+    pub fn scatter_seq_gather_heads(
+        comm: &Communicator,
+        x: &Tensor,
+    ) -> std::result::Result<Tensor, Box<dyn std::error::Error + Send + Sync>> {
+        let p = comm.world();
+        if x.ndim() != 3 {
+            return Err(Box::new(TensorError::RankMismatch {
+                op: "ulysses_all_to_all_inv",
+                expected: 3,
+                actual: x.ndim(),
+            }));
+        }
+        let (s_global, h_local, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        if s_global % p != 0 {
+            return Err(Box::new(TensorError::InvalidSlice {
+                what: format!("sequence {s_global} not divisible by {p} ranks"),
+            }));
+        }
+        let parts = x.split(0, p)?;
+        let bufs: Vec<Vec<f32>> = parts.into_iter().map(Tensor::into_vec).collect();
+        let recv = comm.all_to_all(bufs)?;
+        // Each received piece is [s_local, h_local, d]; stack along heads.
+        let tensors: std::result::Result<Vec<Tensor>, TensorError> = recv
+            .into_iter()
+            .map(|buf| Tensor::from_vec(buf, &[s_global / p, h_local, d]))
+            .collect();
+        let tensors = tensors?;
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        Ok(Tensor::concat(&refs, 1)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_group;
+    use fpdt_tensor::init;
+
+    #[test]
+    fn all_to_all_transposes_rank_data() {
+        let out = run_group(3, |comm| {
+            let r = comm.rank() as f32;
+            // rank r sends value 10*r + dst to dst
+            let parts: Vec<Vec<f32>> = (0..3).map(|dst| vec![10.0 * r + dst as f32]).collect();
+            comm.all_to_all(parts).unwrap()
+        });
+        // rank 1 receives from src s: 10*s + 1
+        assert_eq!(out[1], vec![vec![1.0], vec![11.0], vec![21.0]]);
+    }
+
+    #[test]
+    fn all_gather_rank_order() {
+        let out = run_group(4, |comm| comm.all_gather(&[comm.rank() as f32 * 2.0]));
+        for ranks in out {
+            assert_eq!(ranks, vec![vec![0.0], vec![2.0], vec![4.0], vec![6.0]]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_per_destination() {
+        let out = run_group(2, |comm| {
+            let r = comm.rank() as f32;
+            // each rank contributes [r+1, r+2] to dst 0 and [r*10, r*10] to dst 1
+            let parts = vec![vec![r + 1.0, r + 2.0], vec![r * 10.0, r * 10.0]];
+            comm.reduce_scatter(parts).unwrap()
+        });
+        assert_eq!(out[0], vec![3.0, 5.0]); // (1+2, 2+3)
+        assert_eq!(out[1], vec![10.0, 10.0]); // (0+10, 0+10)
+    }
+
+    #[test]
+    fn all_reduce_is_identical_everywhere() {
+        let out = run_group(4, |comm| {
+            comm.all_reduce(&[comm.rank() as f32, 1.0]).unwrap()
+        });
+        for ranks in out {
+            assert_eq!(ranks, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_deterministic_ordering() {
+        // Floating-point summation order is fixed (rank order), so repeated
+        // runs produce bitwise-identical results.
+        let run = || {
+            run_group(4, |comm| {
+                let x = [0.1f32 * (comm.rank() as f32 + 1.0), 1e-8];
+                comm.all_reduce(&x).unwrap()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = run_group(3, |comm| {
+            let payload = (comm.rank() == 2).then(|| vec![42.0]);
+            comm.broadcast(2, payload).unwrap()
+        });
+        for ranks in out {
+            assert_eq!(ranks, vec![42.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_and_gather_round_trip() {
+        let out = run_group(3, |comm| {
+            let parts = (comm.rank() == 0).then(|| vec![vec![0.0], vec![1.0], vec![2.0]]);
+            let piece = comm.scatter(0, parts).unwrap();
+            comm.gather(0, piece).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![vec![0.0], vec![1.0], vec![2.0]]));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn ring_exchange_rotates() {
+        let out = run_group(4, |comm| {
+            comm.ring_exchange(vec![comm.rank() as f32]).unwrap()
+        });
+        // rank r receives from rank r-1
+        assert_eq!(out, vec![vec![3.0], vec![0.0], vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn ulysses_all_to_all_round_trip() {
+        // 2 ranks, each with [s_local=2, h=4, d=3]; forward then inverse
+        // must reproduce the original local tensor.
+        let out = run_group(2, |comm| {
+            let mut rng = init::seeded_rng(100 + comm.rank() as u64);
+            let x = init::randn(&mut rng, &[2, 4, 3], 1.0);
+            let gathered = AllToAllLayout::scatter_heads_gather_seq(&comm, &x).unwrap();
+            assert_eq!(gathered.shape(), &[4, 2, 3]);
+            let back = AllToAllLayout::scatter_seq_gather_heads(&comm, &gathered).unwrap();
+            (x, back)
+        });
+        for (orig, back) in out {
+            assert!(back.allclose(&orig, 1e-6, 1e-7));
+        }
+    }
+
+    #[test]
+    fn ulysses_head_assignment() {
+        // After the forward all-to-all, rank r must hold head group r of
+        // every rank's tokens, with rank 0's tokens first.
+        let out = run_group(2, |comm| {
+            let r = comm.rank() as f32;
+            // token value encodes (rank, head): 100*rank + head
+            let mut x = Tensor::zeros(&[1, 4, 1]);
+            for head in 0..4 {
+                x.data_mut()[head] = 100.0 * r + head as f32;
+            }
+            AllToAllLayout::scatter_heads_gather_seq(&comm, &x).unwrap()
+        });
+        // rank 0: heads {0,1} of rank0 then rank1 tokens
+        assert_eq!(out[0].data(), &[0.0, 1.0, 100.0, 101.0]);
+        // rank 1: heads {2,3}
+        assert_eq!(out[1].data(), &[2.0, 3.0, 102.0, 103.0]);
+    }
+
+    #[test]
+    fn collective_errors() {
+        run_group(2, |comm| {
+            assert!(matches!(
+                comm.all_to_all(vec![vec![]]),
+                Err(CommError::WrongPartCount { .. })
+            ));
+            assert!(matches!(
+                comm.broadcast(7, None),
+                Err(CommError::RankOutOfRange { .. })
+            ));
+            // keep lockstep: run a real broadcast afterwards
+            let payload = (comm.rank() == 0).then(|| vec![1.0]);
+            comm.broadcast(0, payload).unwrap();
+        });
+    }
+}
+
+impl Communicator {
+    /// Chunked (bucketed) all-reduce: reduces `data` in buckets of at most
+    /// `bucket` elements, so the transient staging never exceeds two
+    /// buckets — the fix for the gradient-reduction memory spike the FPDT
+    /// paper's Future Work section identifies. Numerically identical to
+    /// [`Communicator::all_reduce`] (same rank-ordered summation per
+    /// element).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::LengthMismatch`] when contributions disagree
+    /// in length, and propagates disconnections.
+    pub fn all_reduce_chunked(&self, data: &[f32], bucket: usize) -> Result<Vec<f32>> {
+        let bucket = bucket.max(1);
+        let mut out = Vec::with_capacity(data.len());
+        for piece in data.chunks(bucket) {
+            out.extend(self.all_reduce(piece)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod chunked_reduce_tests {
+    use crate::run_group;
+
+    #[test]
+    fn chunked_all_reduce_equals_monolithic() {
+        let out = run_group(4, |comm| {
+            let data: Vec<f32> = (0..37)
+                .map(|i| (comm.rank() * 100 + i) as f32 * 0.25)
+                .collect();
+            let whole = comm.all_reduce(&data).unwrap();
+            let chunked = comm.all_reduce_chunked(&data, 10).unwrap();
+            (whole, chunked)
+        });
+        for (whole, chunked) in out {
+            assert_eq!(whole, chunked, "bitwise identical");
+        }
+    }
+
+    #[test]
+    fn chunked_all_reduce_edge_buckets() {
+        run_group(2, |comm| {
+            let data = vec![1.0f32; 5];
+            // bucket >= len, bucket == 1, bucket == 0 (clamped)
+            for b in [16usize, 1, 0] {
+                let r = comm.all_reduce_chunked(&data, b).unwrap();
+                assert_eq!(r, vec![2.0; 5], "bucket {b}");
+            }
+        });
+    }
+}

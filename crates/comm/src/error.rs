@@ -1,0 +1,124 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank index is out of range for the group.
+    RankOutOfRange {
+        /// Offending rank.
+        rank: usize,
+        /// Group size.
+        world: usize,
+    },
+    /// The number of buffers supplied to a collective does not equal the
+    /// group size.
+    WrongPartCount {
+        /// Collective name.
+        op: &'static str,
+        /// Expected part count (= world size).
+        expected: usize,
+        /// Provided part count.
+        actual: usize,
+    },
+    /// Buffers participating in a reduction have mismatched lengths.
+    LengthMismatch {
+        /// Collective name.
+        op: &'static str,
+        /// Length of the first buffer.
+        expected: usize,
+        /// Conflicting length.
+        actual: usize,
+    },
+    /// A peer disconnected (its thread panicked or dropped its
+    /// communicator) while this rank was waiting on it.
+    PeerDisconnected {
+        /// The peer that went away.
+        peer: usize,
+    },
+    /// Ranks called different collectives, or the same collective a
+    /// different number of times (SPMD order violation).
+    Desync {
+        /// Operation this rank is executing.
+        local_op: &'static str,
+        /// Operation tag received from the peer.
+        remote_op: String,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, world } => {
+                write!(f, "rank {rank} out of range for group of {world}")
+            }
+            CommError::WrongPartCount {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op} requires {expected} buffers, got {actual}")
+            }
+            CommError::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{op} buffer length mismatch: {actual} vs expected {expected}"
+                )
+            }
+            CommError::PeerDisconnected { peer } => {
+                write!(f, "peer rank {peer} disconnected mid-collective")
+            }
+            CommError::Desync {
+                local_op,
+                remote_op,
+            } => {
+                write!(
+                    f,
+                    "collective desync: local {local_op} vs remote {remote_op}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            CommError::RankOutOfRange { rank: 9, world: 4 },
+            CommError::WrongPartCount {
+                op: "all_to_all",
+                expected: 4,
+                actual: 2,
+            },
+            CommError::LengthMismatch {
+                op: "all_reduce",
+                expected: 8,
+                actual: 4,
+            },
+            CommError::PeerDisconnected { peer: 1 },
+            CommError::Desync {
+                local_op: "all_gather",
+                remote_op: "barrier".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CommError>();
+    }
+}

@@ -1,0 +1,255 @@
+//! Group construction and point-to-point plumbing.
+
+use crate::{CommError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A tagged point-to-point message. Tags catch SPMD order violations early
+/// instead of silently mixing payloads from different collectives.
+#[derive(Debug)]
+pub(crate) struct Message {
+    pub op: &'static str,
+    pub data: Vec<f32>,
+}
+
+/// Factory for a fixed-size communicator group.
+///
+/// Build one group, take its per-rank [`Communicator`]s with
+/// [`CommGroup::communicators`], and hand one to each worker thread. For
+/// scoped-thread convenience use [`run_group`].
+#[derive(Debug)]
+pub struct CommGroup {
+    world: usize,
+    comms: Vec<Option<Communicator>>,
+}
+
+impl CommGroup {
+    /// Creates a group of `world` ranks with a dedicated FIFO channel per
+    /// ordered rank pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "communicator group must have at least one rank");
+        // senders[src][dst] / receivers[dst][src]
+        let mut senders: Vec<Vec<Sender<Message>>> = (0..world).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
+        #[allow(clippy::needless_range_loop)] // dst indexes two parallel arrays
+        for src in 0..world {
+            for dst in 0..world {
+                let (tx, rx) = unbounded();
+                senders[src].push(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(world));
+        let comms = senders
+            .into_iter()
+            .enumerate()
+            .map(|(rank, tx_row)| {
+                Some(Communicator {
+                    rank,
+                    world,
+                    senders: tx_row,
+                    receivers: receivers[rank]
+                        .iter_mut()
+                        .map(|r| r.take().expect("each receiver taken once"))
+                        .collect(),
+                    barrier: Arc::clone(&barrier),
+                })
+            })
+            .collect();
+        CommGroup { world, comms }
+    }
+
+    /// Group size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Takes all per-rank communicators (rank order). Each can be moved to
+    /// its worker thread. Calling twice returns an empty vector.
+    pub fn communicators(&mut self) -> Vec<Communicator> {
+        self.comms.iter_mut().filter_map(Option::take).collect()
+    }
+}
+
+/// One rank's endpoint in a [`CommGroup`].
+///
+/// All collectives live in the `collectives` module; this type also exposes
+/// raw tagged point-to-point `send`/`recv` used by ring schedules.
+#[derive(Debug)]
+pub struct Communicator {
+    pub(crate) rank: usize,
+    pub(crate) world: usize,
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Communicator {
+    /// This rank's index in `0..world`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Sends `data` to `peer` under the collective tag `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] or
+    /// [`CommError::PeerDisconnected`].
+    pub fn send(&self, op: &'static str, peer: usize, data: Vec<f32>) -> Result<()> {
+        let tx = self.senders.get(peer).ok_or(CommError::RankOutOfRange {
+            rank: peer,
+            world: self.world,
+        })?;
+        tx.send(Message { op, data })
+            .map_err(|_| CommError::PeerDisconnected { peer })
+    }
+
+    /// Receives the next message from `peer`, checking its collective tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`],
+    /// [`CommError::PeerDisconnected`], or [`CommError::Desync`] when the
+    /// peer sent a different collective's payload.
+    pub fn recv(&self, op: &'static str, peer: usize) -> Result<Vec<f32>> {
+        let rx = self.receivers.get(peer).ok_or(CommError::RankOutOfRange {
+            rank: peer,
+            world: self.world,
+        })?;
+        let msg = rx
+            .recv()
+            .map_err(|_| CommError::PeerDisconnected { peer })?;
+        if msg.op != op {
+            return Err(CommError::Desync {
+                local_op: op,
+                remote_op: msg.op.to_string(),
+            });
+        }
+        Ok(msg.data)
+    }
+
+    /// Blocks until every rank in the group has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Spawns `world` scoped threads, hands each its [`Communicator`], and
+/// collects the per-rank return values in rank order.
+///
+/// Closure panics propagate (the whole call panics), mirroring how a rank
+/// failure aborts a distributed job.
+pub fn run_group<T, F>(world: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    let mut group = CommGroup::new(world);
+    let comms = group.communicators();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| s.spawn(move || f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let results = run_group(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send("test", 1, vec![1.0, 2.0]).unwrap();
+                comm.recv("test", 1).unwrap()
+            } else {
+                let got = comm.recv("test", 0).unwrap();
+                comm.send("test", 0, vec![got[0] * 10.0, got[1] * 10.0])
+                    .unwrap();
+                got
+            }
+        });
+        assert_eq!(results[0], vec![10.0, 20.0]);
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let results = run_group(1, |comm| {
+            comm.send("loop", 0, vec![7.0]).unwrap();
+            comm.recv("loop", 0).unwrap()
+        });
+        assert_eq!(results[0], vec![7.0]);
+    }
+
+    #[test]
+    fn tag_mismatch_is_detected() {
+        let results = run_group(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send("op_a", 1, vec![]).unwrap();
+                Ok(())
+            } else {
+                match comm.recv("op_b", 0) {
+                    Err(CommError::Desync { .. }) => Err(()),
+                    other => panic!("expected desync, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(results[1], Err(()));
+    }
+
+    #[test]
+    fn rank_out_of_range() {
+        run_group(2, |comm| {
+            assert!(matches!(
+                comm.send("x", 5, vec![]),
+                Err(CommError::RankOutOfRange { rank: 5, world: 2 })
+            ));
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_group(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn communicators_taken_once() {
+        let mut g = CommGroup::new(3);
+        assert_eq!(g.world(), 3);
+        assert_eq!(g.communicators().len(), 3);
+        assert!(g.communicators().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_world_panics() {
+        let _ = CommGroup::new(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Failure injection: collectives must fail loudly and precisely when a
+//! peer dies or diverges, never hang or silently corrupt — the property
+//! that makes distributed bugs debuggable.
+
+use fpdt_comm::{CommError, CommGroup};
+use std::thread;
+
+#[test]
+fn recv_from_dead_peer_reports_disconnection() {
+    let mut group = CommGroup::new(2);
+    let mut comms = group.communicators();
+    let c1 = comms.pop().unwrap();
+    let c0 = comms.pop().unwrap();
+    // Rank 1 dies immediately (drops its endpoint).
+    drop(c1);
+    // Rank 0's receive must fail with PeerDisconnected, not hang.
+    let got = c0.recv("x", 1);
+    assert!(
+        matches!(got, Err(CommError::PeerDisconnected { peer: 1 })),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn send_to_dead_peer_reports_disconnection() {
+    let mut group = CommGroup::new(2);
+    let mut comms = group.communicators();
+    let c1 = comms.pop().unwrap();
+    let c0 = comms.pop().unwrap();
+    drop(c1);
+    assert!(matches!(
+        c0.send("x", 1, vec![1.0]),
+        Err(CommError::PeerDisconnected { peer: 1 })
+    ));
+}
+
+#[test]
+fn collective_with_dead_rank_fails_not_hangs() {
+    let mut group = CommGroup::new(3);
+    let comms = group.communicators();
+    let mut it = comms.into_iter();
+    let c0 = it.next().unwrap();
+    let c1 = it.next().unwrap();
+    let c2 = it.next().unwrap();
+    drop(c2); // rank 2 crashes before the collective
+
+    let h0 = thread::spawn(move || c0.all_reduce(&[1.0]));
+    let h1 = thread::spawn(move || c1.all_reduce(&[2.0]));
+    // Both survivors must fail within bounded time — either an error
+    // return or the documented panic of the infallible collectives —
+    // never a hang.
+    for h in [h0, h1] {
+        match h.join() {
+            Err(_panic) => {} // all_gather's "group alive" panic
+            Ok(result) => assert!(result.is_err()),
+        }
+    }
+}
+
+#[test]
+fn mixed_collectives_detected_as_desync() {
+    let mut group = CommGroup::new(2);
+    let comms = group.communicators();
+    let mut it = comms.into_iter();
+    let c0 = it.next().unwrap();
+    let c1 = it.next().unwrap();
+    // Rank 0 runs all_gather while rank 1 runs reduce_scatter (genuinely
+    // different wire tags): the tag check must catch the SPMD violation
+    // on at least one side.
+    let h0 = thread::spawn(move || {
+        // all_gather panics internally on desync; catch it so the test
+        // can assert the failure mode.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c0.all_gather(&[1.0]))).is_err()
+    });
+    let h1 = thread::spawn(move || c1.reduce_scatter(vec![vec![1.0], vec![2.0]]).is_err());
+    let r0 = h0.join().unwrap();
+    let r1 = h1.join().unwrap();
+    assert!(r0 || r1, "at least one side must detect the desync");
+}
+
+#[test]
+fn error_messages_identify_the_peer() {
+    let e = CommError::PeerDisconnected { peer: 3 };
+    assert!(e.to_string().contains('3'));
+    let e = CommError::Desync {
+        local_op: "all_gather",
+        remote_op: "all_reduce".into(),
+    };
+    assert!(e.to_string().contains("all_gather"));
+    assert!(e.to_string().contains("all_reduce"));
+}

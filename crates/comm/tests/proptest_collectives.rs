@@ -1,0 +1,100 @@
+//! Property-based tests of the collective layer: algebraic identities
+//! that must hold for any world size, payload and content.
+
+use fpdt_comm::run_group;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_to_all_is_a_transpose(
+        world in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // all_to_all twice = identity (it transposes the (src, dst) matrix).
+        let out = run_group(world, move |comm| {
+            let r = comm.rank();
+            let parts: Vec<Vec<f32>> = (0..world)
+                .map(|dst| vec![(seed as f32) + (r * world + dst) as f32])
+                .collect();
+            let once = comm.all_to_all(parts.clone()).unwrap();
+            let twice = comm.all_to_all(once).unwrap();
+            (parts, twice)
+        });
+        for (orig, round_trip) in out {
+            prop_assert_eq!(orig, round_trip);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce(
+        world in 1usize..5,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let out = run_group(world, move |comm| {
+            let r = comm.rank();
+            let data: Vec<f32> = (0..n * world)
+                .map(|i| ((seed as usize + r * 31 + i) % 17) as f32)
+                .collect();
+            let ar = comm.all_reduce(&data).unwrap();
+            // reduce_scatter over equal slices, then all_gather
+            let parts: Vec<Vec<f32>> =
+                (0..world).map(|p| data[p * n..(p + 1) * n].to_vec()).collect();
+            let mine = comm.reduce_scatter(parts).unwrap();
+            let stitched: Vec<f32> = comm.all_gather(&mine).unwrap_or_default_check();
+            (ar, stitched)
+        });
+        for (ar, rs_ag) in out {
+            prop_assert_eq!(ar, rs_ag);
+        }
+    }
+
+    #[test]
+    fn ring_exchange_world_times_is_identity(
+        world in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let out = run_group(world, move |comm| {
+            let orig = vec![seed as f32 + comm.rank() as f32];
+            let mut cur = orig.clone();
+            for _ in 0..world {
+                cur = comm.ring_exchange(cur).unwrap();
+            }
+            (orig, cur)
+        });
+        for (orig, back) in out {
+            prop_assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn broadcast_is_idempotent_per_root(
+        world in 1usize..5,
+        root_sel in 0usize..5,
+        payload in proptest::collection::vec(-100.0f32..100.0, 0..8),
+    ) {
+        let root = root_sel % world;
+        let p2 = payload.clone();
+        let out = run_group(world, move |comm| {
+            let data = (comm.rank() == root).then(|| p2.clone());
+            comm.broadcast(root, data).unwrap()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &payload);
+        }
+    }
+}
+
+/// Helper trait so the proptest closure stays readable: all_gather returns
+/// Vec<Vec<f32>>; flatten in rank order.
+trait Stitch {
+    fn unwrap_or_default_check(self) -> Vec<f32>;
+}
+
+impl Stitch for Vec<Vec<f32>> {
+    fn unwrap_or_default_check(self) -> Vec<f32> {
+        self.into_iter().flatten().collect()
+    }
+}

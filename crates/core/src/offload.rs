@@ -1,0 +1,234 @@
+//! The host-memory pool: where FPDT parks idle sequence chunks.
+//!
+//! In the paper this is pinned CPU DRAM reached over PCIe; in the real
+//! runtime it is a keyed store owned by each simulated GPU's thread. The
+//! pool tracks bytes and transfer counts so tests can assert the paper's
+//! claims — e.g. that at any instant only `O(1/u)` of the sequence lives
+//! on "HBM", and that the backward's nested loop fetches each KV chunk
+//! exactly once per outer iteration.
+
+use fpdt_tensor::Tensor;
+use std::collections::HashMap;
+
+/// What kind of buffer a pooled chunk holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufKind {
+    /// Post-all-to-all query chunk.
+    Q,
+    /// Post-all-to-all key chunk.
+    K,
+    /// Post-all-to-all value chunk.
+    V,
+    /// Attention output chunk (needed for the backward `D` term).
+    O,
+    /// Log-sum-exp statistics for a query chunk.
+    Lse,
+    /// Accumulating query-gradient chunk (finalized at outer step `j=i`).
+    DQ,
+    /// Gathered output-gradient chunk (`dO`) in the backward pass.
+    DOut,
+    /// Row dot-products `D = rowsum(dO ⊙ O)` per query chunk.
+    Dsum,
+    /// Block-input hidden chunk (activation checkpoint).
+    Hidden,
+    /// Any other saved context (norm stats, MLP inputs...).
+    Ctx,
+}
+
+/// Key identifying one pooled chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// Transformer layer index.
+    pub layer: usize,
+    /// Buffer kind.
+    pub kind: BufKind,
+    /// Chunk index within the layer.
+    pub chunk: usize,
+}
+
+impl ChunkKey {
+    /// Convenience constructor.
+    pub fn new(layer: usize, kind: BufKind, chunk: usize) -> Self {
+        ChunkKey { layer, kind, chunk }
+    }
+}
+
+/// Counters the pool maintains for behavioral assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Device-to-host transfers (offloads).
+    pub offloads: u64,
+    /// Host-to-device transfers (fetches).
+    pub fetches: u64,
+    /// Bytes currently resident.
+    pub bytes: u64,
+    /// High-water mark of resident bytes.
+    pub peak_bytes: u64,
+}
+
+/// A per-rank host-memory pool.
+///
+/// # Example
+///
+/// ```
+/// use fpdt_core::offload::{BufKind, ChunkKey, HostPool};
+/// use fpdt_tensor::Tensor;
+///
+/// let mut pool = HostPool::new();
+/// let key = ChunkKey::new(0, BufKind::K, 2);
+/// pool.offload(key, Tensor::zeros(&[4, 2, 8]));
+/// assert_eq!(pool.stats().bytes, 4 * 2 * 8 * 4);
+/// let k = pool.fetch(&key).expect("chunk was cached");
+/// assert_eq!(k.shape(), &[4, 2, 8]);
+/// assert_eq!(pool.stats().bytes, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct HostPool {
+    store: HashMap<ChunkKey, Tensor>,
+    stats: PoolStats,
+}
+
+impl HostPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves a tensor to host memory (device-to-host copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already resident — offloading the same chunk
+    /// twice without fetching it is a scheduler bug.
+    pub fn offload(&mut self, key: ChunkKey, t: Tensor) {
+        self.stats.offloads += 1;
+        self.stats.bytes += bytes_of(&t);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
+        let prev = self.store.insert(key, t);
+        assert!(prev.is_none(), "chunk {key:?} offloaded twice");
+    }
+
+    /// Moves a tensor back to the device (host-to-device copy), removing
+    /// it from the pool. Returns `None` when the key is not resident.
+    pub fn fetch(&mut self, key: &ChunkKey) -> Option<Tensor> {
+        let t = self.store.remove(key)?;
+        self.stats.fetches += 1;
+        self.stats.bytes -= bytes_of(&t);
+        Some(t)
+    }
+
+    /// Reads a chunk without evicting it (a fetch that keeps the host
+    /// copy — what the forward does with KV chunks reused by later query
+    /// chunks).
+    pub fn fetch_keep(&mut self, key: &ChunkKey) -> Option<Tensor> {
+        let t = self.store.get(key).cloned()?;
+        self.stats.fetches += 1;
+        Some(t)
+    }
+
+    /// Drops a resident chunk without a host-to-device transfer (freeing
+    /// host memory costs no PCIe traffic). Returns whether it was present.
+    pub fn discard(&mut self, key: &ChunkKey) -> bool {
+        match self.store.remove(key) {
+            Some(t) => {
+                self.stats.bytes -= bytes_of(&t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a chunk is resident.
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.store.contains_key(key)
+    }
+
+    /// Number of resident chunks.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Transfer and residency counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Drops everything (end of a training step) but keeps cumulative
+    /// transfer counters.
+    pub fn clear(&mut self) {
+        self.store.clear();
+        self.stats.bytes = 0;
+    }
+}
+
+fn bytes_of(t: &Tensor) -> u64 {
+    (t.numel() * std::mem::size_of::<f32>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_fetch_round_trip() {
+        let mut pool = HostPool::new();
+        let t = Tensor::arange(8).reshape(&[2, 4]).unwrap();
+        let key = ChunkKey::new(3, BufKind::V, 1);
+        pool.offload(key, t.clone());
+        assert!(pool.contains(&key));
+        assert_eq!(pool.len(), 1);
+        let back = pool.fetch(&key).unwrap();
+        assert_eq!(back, t);
+        assert!(pool.is_empty());
+        assert_eq!(pool.fetch(&key), None);
+    }
+
+    #[test]
+    fn stats_track_transfers_and_peak() {
+        let mut pool = HostPool::new();
+        pool.offload(ChunkKey::new(0, BufKind::K, 0), Tensor::zeros(&[10]));
+        pool.offload(ChunkKey::new(0, BufKind::V, 0), Tensor::zeros(&[10]));
+        assert_eq!(pool.stats().offloads, 2);
+        assert_eq!(pool.stats().bytes, 80);
+        pool.fetch(&ChunkKey::new(0, BufKind::K, 0)).unwrap();
+        assert_eq!(pool.stats().fetches, 1);
+        assert_eq!(pool.stats().bytes, 40);
+        assert_eq!(pool.stats().peak_bytes, 80);
+    }
+
+    #[test]
+    fn fetch_keep_leaves_resident() {
+        let mut pool = HostPool::new();
+        let key = ChunkKey::new(1, BufKind::Q, 0);
+        pool.offload(key, Tensor::ones(&[4]));
+        let a = pool.fetch_keep(&key).unwrap();
+        assert!(pool.contains(&key));
+        assert_eq!(a.numel(), 4);
+        assert_eq!(pool.stats().fetches, 1);
+    }
+
+    #[test]
+    fn clear_resets_residency_not_counters() {
+        let mut pool = HostPool::new();
+        pool.offload(ChunkKey::new(0, BufKind::Hidden, 0), Tensor::zeros(&[5]));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats().bytes, 0);
+        assert_eq!(pool.stats().offloads, 1);
+        assert_eq!(pool.stats().peak_bytes, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "offloaded twice")]
+    fn double_offload_is_a_bug() {
+        let mut pool = HostPool::new();
+        let key = ChunkKey::new(0, BufKind::K, 0);
+        pool.offload(key, Tensor::zeros(&[1]));
+        pool.offload(key, Tensor::zeros(&[1]));
+    }
+}

@@ -1,0 +1,645 @@
+//! Pluggable attention executors.
+//!
+//! A GPT block hands its (RoPE'd) `q/k/v` — shaped `[s_local, heads, d]`
+//! with explicit global positions — to an [`AttentionExec`] and gets the
+//! attention output back in the same layout. What happens in between is
+//! the difference between the training modes:
+//!
+//! * [`LocalAttention`] — single device, chunked online attention.
+//! * [`DistAttention`] — the distributed path: per-chunk Ulysses
+//!   all-to-all (heads scatter / sequence gather), streaming online
+//!   attention over cached KV chunks, host offload, and the Figure-7
+//!   KV-outer/Q-inner backward. With `chunks == 1` this *is* DeepSpeed
+//!   Ulysses; with `chunks > 1` it is FPDT.
+
+use crate::chunk::ChunkPlan;
+use crate::offload::{BufKind, ChunkKey, HostPool, PoolStats};
+use fpdt_attention::online::{attention_block_bwd, rowwise_dot, OnlineAttention};
+use fpdt_attention::{chunked, default_scale};
+use fpdt_comm::{AllToAllLayout, Communicator};
+use fpdt_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Executor result type (tensor and communication errors both occur).
+pub type ExecResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;
+
+/// An attention implementation a GPT block can call into.
+pub trait AttentionExec {
+    /// Computes attention for `layer`, saving whatever the backward pass
+    /// needs. Inputs are `[s_local, heads, d]`; `pos[t]` is the global
+    /// position of local row `t`.
+    ///
+    /// # Errors
+    ///
+    /// Shape or communication failures.
+    fn forward(
+        &mut self,
+        layer: usize,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        pos: &[usize],
+    ) -> ExecResult<Tensor>;
+
+    /// Consumes the saved state for `layer` and returns `(dq, dk, dv)` in
+    /// the local layout.
+    ///
+    /// # Errors
+    ///
+    /// Shape or communication failures, or a missing forward for `layer`.
+    fn backward(&mut self, layer: usize, dout: &Tensor) -> ExecResult<(Tensor, Tensor, Tensor)>;
+
+    /// Drops the saved state for `layer` without running a backward pass —
+    /// what activation checkpointing does after the first forward (the
+    /// recompute pass will rebuild it). A no-op when nothing is saved.
+    fn discard(&mut self, layer: usize);
+}
+
+struct LocalSaved {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    o: Tensor,
+    lse: Vec<f32>,
+    pos: Vec<usize>,
+}
+
+/// Single-device chunked attention (the non-distributed reference mode).
+#[derive(Default)]
+pub struct LocalAttention {
+    /// Number of sequence chunks for the streaming kernels (1 = plain
+    /// FlashAttention-style pass).
+    pub chunks: usize,
+    saved: HashMap<usize, LocalSaved>,
+}
+
+impl LocalAttention {
+    /// Creates an executor with the given chunk count.
+    pub fn new(chunks: usize) -> Self {
+        LocalAttention {
+            chunks: chunks.max(1),
+            saved: HashMap::new(),
+        }
+    }
+}
+
+impl AttentionExec for LocalAttention {
+    fn forward(
+        &mut self,
+        layer: usize,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        pos: &[usize],
+    ) -> ExecResult<Tensor> {
+        let (o, lse) = chunked::attention_chunked_with_positions(q, k, v, pos, self.chunks, None)?;
+        self.saved.insert(
+            layer,
+            LocalSaved {
+                q: q.clone(),
+                k: k.clone(),
+                v: v.clone(),
+                o: o.clone(),
+                lse,
+                pos: pos.to_vec(),
+            },
+        );
+        Ok(o)
+    }
+
+    fn backward(&mut self, layer: usize, dout: &Tensor) -> ExecResult<(Tensor, Tensor, Tensor)> {
+        let s = self
+            .saved
+            .remove(&layer)
+            .ok_or_else(|| format!("no saved forward for layer {layer}"))?;
+        let g = chunked::attention_chunked_bwd_with_positions(
+            &s.q,
+            &s.k,
+            &s.v,
+            &s.o,
+            dout,
+            &s.lse,
+            &s.pos,
+            self.chunks,
+            None,
+        )?;
+        Ok((g.dq, g.dk, g.dv))
+    }
+
+    fn discard(&mut self, layer: usize) {
+        self.saved.remove(&layer);
+    }
+}
+
+/// Distributed chunked attention: Ulysses all-to-all per chunk, streaming
+/// online attention, host offload, Figure-7 backward.
+pub struct DistAttention<'c> {
+    comm: &'c Communicator,
+    plan: ChunkPlan,
+    /// When true, cached chunks live in the [`HostPool`] ("host memory");
+    /// otherwise in a device-side map. Numerically identical — the flag
+    /// models where the bytes live and is observable via [`Self::host_stats`].
+    offload: bool,
+    host: HostPool,
+    device: HashMap<ChunkKey, Tensor>,
+}
+
+impl<'c> DistAttention<'c> {
+    /// Creates the executor for one rank.
+    pub fn new(comm: &'c Communicator, plan: ChunkPlan, offload: bool) -> Self {
+        DistAttention {
+            comm,
+            plan,
+            offload,
+            host: HostPool::new(),
+            device: HashMap::new(),
+        }
+    }
+
+    /// Host-pool transfer statistics (zero when `offload` is off).
+    pub fn host_stats(&self) -> PoolStats {
+        self.host.stats()
+    }
+
+    fn put(&mut self, key: ChunkKey, t: Tensor) {
+        if self.offload {
+            self.host.offload(key, t);
+        } else {
+            self.device.insert(key, t);
+        }
+    }
+
+    fn take(&mut self, key: ChunkKey) -> ExecResult<Tensor> {
+        let t = if self.offload {
+            self.host.fetch(&key)
+        } else {
+            self.device.remove(&key)
+        };
+        t.ok_or_else(|| format!("missing cached chunk {key:?}").into())
+    }
+
+    fn keep(&mut self, key: ChunkKey) -> ExecResult<Tensor> {
+        let t = if self.offload {
+            self.host.fetch_keep(&key)
+        } else {
+            self.device.get(&key).cloned()
+        };
+        t.ok_or_else(|| format!("missing cached chunk {key:?}").into())
+    }
+
+    fn a2a_fwd(&self, t: &Tensor) -> ExecResult<Tensor> {
+        AllToAllLayout::scatter_heads_gather_seq(self.comm, t)
+    }
+
+    fn a2a_inv(&self, t: &Tensor) -> ExecResult<Tensor> {
+        AllToAllLayout::scatter_seq_gather_heads(self.comm, t)
+    }
+}
+
+impl AttentionExec for DistAttention<'_> {
+    fn forward(
+        &mut self,
+        layer: usize,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        pos: &[usize],
+    ) -> ExecResult<Tensor> {
+        let u = self.plan.chunks;
+        let c_loc = self.plan.chunk_local_len();
+        debug_assert_eq!(pos, self.plan.local_positions(self.comm.rank()).as_slice());
+        let mut o_parts: Vec<Tensor> = Vec::with_capacity(u);
+        for i in 0..u {
+            let range = self.plan.local_chunk_range(i);
+            // Project chunk through the all-to-all: full heads/local seq ->
+            // local heads/gathered seq.
+            let qh = self.a2a_fwd(&q.narrow(0, range.start, c_loc)?)?;
+            let kh = self.a2a_fwd(&k.narrow(0, range.start, c_loc)?)?;
+            let vh = self.a2a_fwd(&v.narrow(0, range.start, c_loc)?)?;
+            let gpos = self.plan.gathered_positions(i);
+            let mut st = OnlineAttention::new(&qh, &gpos, None)?;
+            // Stream previously cached KV chunks from host memory.
+            for j in 0..i {
+                let kj = self.keep(ChunkKey::new(layer, BufKind::K, j))?;
+                let vj = self.keep(ChunkKey::new(layer, BufKind::V, j))?;
+                st.update(&kj, &vj, &self.plan.gathered_positions(j))?;
+            }
+            st.update(&kh, &vh, &gpos)?;
+            let (oi, lse) = st.finalize();
+            // Cache everything backward needs.
+            self.put(ChunkKey::new(layer, BufKind::Q, i), qh);
+            self.put(ChunkKey::new(layer, BufKind::K, i), kh);
+            self.put(ChunkKey::new(layer, BufKind::V, i), vh);
+            self.put(ChunkKey::new(layer, BufKind::O, i), oi.clone());
+            self.put(
+                ChunkKey::new(layer, BufKind::Lse, i),
+                Tensor::from_vec(lse, &[oi.shape()[0] * oi.shape()[1]])?,
+            );
+            // Gather heads back: the output chunk returns to local layout.
+            o_parts.push(self.a2a_inv(&oi)?);
+        }
+        let refs: Vec<&Tensor> = o_parts.iter().collect();
+        Ok(Tensor::concat(&refs, 0)?)
+    }
+
+    fn backward(&mut self, layer: usize, dout: &Tensor) -> ExecResult<(Tensor, Tensor, Tensor)> {
+        let u = self.plan.chunks;
+        let c_loc = self.plan.chunk_local_len();
+        let scale = default_scale(dout.shape()[2]);
+
+        // Stage: gather dO per chunk, compute the D row-dots, zero the dq
+        // accumulators.
+        for i in 0..u {
+            let range = self.plan.local_chunk_range(i);
+            let doh = self.a2a_fwd(&dout.narrow(0, range.start, c_loc)?)?;
+            let oi = self.keep(ChunkKey::new(layer, BufKind::O, i))?;
+            let dsum = rowwise_dot(&oi, &doh)?;
+            let n = dsum.len();
+            self.put(ChunkKey::new(layer, BufKind::DOut, i), doh.clone());
+            self.put(
+                ChunkKey::new(layer, BufKind::Dsum, i),
+                Tensor::from_vec(dsum, &[n])?,
+            );
+            self.put(
+                ChunkKey::new(layer, BufKind::DQ, i),
+                Tensor::zeros(doh.shape()),
+            );
+        }
+
+        let mut dq_parts: Vec<Tensor> = Vec::with_capacity(u);
+        let mut dk_parts: Vec<Tensor> = Vec::with_capacity(u);
+        let mut dv_parts: Vec<Tensor> = Vec::with_capacity(u);
+
+        // Figure 7: outer loop on KV chunks, inner on query chunks.
+        for j in 0..u {
+            let kj = self.take(ChunkKey::new(layer, BufKind::K, j))?;
+            let vj = self.take(ChunkKey::new(layer, BufKind::V, j))?;
+            let gpos_j = self.plan.gathered_positions(j);
+            let mut dk_j = Tensor::zeros(kj.shape());
+            let mut dv_j = Tensor::zeros(vj.shape());
+            for i in j..u {
+                // Last use of chunk i's saved state is the diagonal tile
+                // (i == j): consume it then, otherwise read-and-keep.
+                let consume = i == j;
+                let grab = |me: &mut Self, kind| {
+                    let key = ChunkKey::new(layer, kind, i);
+                    if consume {
+                        me.take(key)
+                    } else {
+                        me.keep(key)
+                    }
+                };
+                let qi = grab(self, BufKind::Q)?;
+                let doh = grab(self, BufKind::DOut)?;
+                let lse = grab(self, BufKind::Lse)?;
+                let dsum = grab(self, BufKind::Dsum)?;
+                // the O cache was only needed for dsum; drop it with the rest
+                if consume {
+                    let _ = self.take(ChunkKey::new(layer, BufKind::O, i))?;
+                }
+                let mut dq_i = self.take(ChunkKey::new(layer, BufKind::DQ, i))?;
+                attention_block_bwd(
+                    &qi,
+                    &kj,
+                    &vj,
+                    &doh,
+                    lse.data(),
+                    dsum.data(),
+                    &self.plan.gathered_positions(i),
+                    &gpos_j,
+                    scale,
+                    &mut dq_i,
+                    &mut dk_j,
+                    &mut dv_j,
+                )?;
+                if consume {
+                    // dq_j is final after its first inner iteration: ship it
+                    // home with the same all-to-all as dk_j/dv_j below.
+                    dq_parts.push(self.a2a_inv(&dq_i)?);
+                } else {
+                    self.put(ChunkKey::new(layer, BufKind::DQ, i), dq_i);
+                }
+            }
+            // dK_j/dV_j are final once the inner sweep ends (no later outer
+            // iteration touches chunk j): all-to-all back to local layout.
+            dk_parts.push(self.a2a_inv(&dk_j)?);
+            dv_parts.push(self.a2a_inv(&dv_j)?);
+        }
+
+        let cat = |parts: &[Tensor]| -> ExecResult<Tensor> {
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Ok(Tensor::concat(&refs, 0)?)
+        };
+        Ok((cat(&dq_parts)?, cat(&dk_parts)?, cat(&dv_parts)?))
+    }
+
+    fn discard(&mut self, layer: usize) {
+        // Drop every cached chunk belonging to this layer (forward saves
+        // Q/K/V/O/Lse per chunk).
+        for kind in [BufKind::Q, BufKind::K, BufKind::V, BufKind::O, BufKind::Lse] {
+            for chunk in 0..self.plan.chunks {
+                let key = ChunkKey::new(layer, kind, chunk);
+                if self.offload {
+                    self.host.discard(&key);
+                } else {
+                    self.device.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// Ring Attention (Liu et al., 2023) as a real executor: the sequence is
+/// sharded contiguously with **full heads everywhere** (no head scatter);
+/// KV blocks rotate around the ring, each hop overlapping one blockwise
+/// online-attention update. The backward ring rotates `(K, V, dK, dV)`
+/// quadruples so gradients accumulate as the blocks travel and arrive
+/// home fully reduced.
+pub struct RingAttentionExec<'c> {
+    comm: &'c Communicator,
+    seq_global: usize,
+    saved: HashMap<usize, RingSaved>,
+}
+
+struct RingSaved {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    o: Tensor,
+    lse: Vec<f32>,
+}
+
+impl<'c> RingAttentionExec<'c> {
+    /// Creates the executor for one rank of a contiguous sequence shard.
+    pub fn new(comm: &'c Communicator, seq_global: usize) -> Self {
+        RingAttentionExec {
+            comm,
+            seq_global,
+            saved: HashMap::new(),
+        }
+    }
+
+    fn owner_positions(&self, owner: usize) -> Vec<usize> {
+        let s_local = self.seq_global / self.comm.world();
+        (owner * s_local..(owner + 1) * s_local).collect()
+    }
+
+    /// Sends a `(k, v)` or `(k, v, dk, dv)` bundle one hop around the ring.
+    fn rotate(&self, tensors: Vec<Tensor>) -> ExecResult<Vec<Tensor>> {
+        let shapes: Vec<Vec<usize>> = tensors.iter().map(|t| t.shape().to_vec()).collect();
+        let mut flat = Vec::new();
+        for t in tensors {
+            flat.extend_from_slice(t.data());
+        }
+        let recv = self.comm.ring_exchange(flat)?;
+        let mut out = Vec::with_capacity(shapes.len());
+        let mut off = 0;
+        for sh in shapes {
+            let n: usize = sh.iter().product();
+            out.push(Tensor::from_vec(recv[off..off + n].to_vec(), &sh)?);
+            off += n;
+        }
+        Ok(out)
+    }
+}
+
+impl AttentionExec for RingAttentionExec<'_> {
+    fn forward(
+        &mut self,
+        layer: usize,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        pos: &[usize],
+    ) -> ExecResult<Tensor> {
+        let p = self.comm.world();
+        let rank = self.comm.rank();
+        // Ring attention requires the plain contiguous shard.
+        debug_assert_eq!(pos, self.owner_positions(rank).as_slice());
+        let mut st = OnlineAttention::new(q, pos, None)?;
+        let mut cur_k = k.clone();
+        let mut cur_v = v.clone();
+        for step in 0..p {
+            let owner = (rank + p - step) % p;
+            st.update(&cur_k, &cur_v, &self.owner_positions(owner))?;
+            if step + 1 < p {
+                let mut rot = self.rotate(vec![cur_k, cur_v])?;
+                cur_v = rot.pop().expect("v");
+                cur_k = rot.pop().expect("k");
+            }
+        }
+        let (o, lse) = st.finalize();
+        self.saved.insert(
+            layer,
+            RingSaved {
+                q: q.clone(),
+                k: k.clone(),
+                v: v.clone(),
+                o: o.clone(),
+                lse,
+            },
+        );
+        Ok(o)
+    }
+
+    fn backward(&mut self, layer: usize, dout: &Tensor) -> ExecResult<(Tensor, Tensor, Tensor)> {
+        let p = self.comm.world();
+        let rank = self.comm.rank();
+        let s = self
+            .saved
+            .remove(&layer)
+            .ok_or_else(|| format!("no saved ring forward for layer {layer}"))?;
+        let scale = default_scale(s.q.shape()[2]);
+        let dsum = rowwise_dot(&s.o, dout)?;
+        let my_pos = self.owner_positions(rank);
+
+        let mut dq = Tensor::zeros(s.q.shape());
+        let mut cur_k = s.k.clone();
+        let mut cur_v = s.v.clone();
+        let mut cur_dk = Tensor::zeros(s.k.shape());
+        let mut cur_dv = Tensor::zeros(s.v.shape());
+        for step in 0..p {
+            let owner = (rank + p - step) % p;
+            attention_block_bwd(
+                &s.q,
+                &cur_k,
+                &cur_v,
+                dout,
+                &s.lse,
+                &dsum,
+                &my_pos,
+                &self.owner_positions(owner),
+                scale,
+                &mut dq,
+                &mut cur_dk,
+                &mut cur_dv,
+            )?;
+            // Rotate the block AND its accumulating gradients; after p hops
+            // every (dk, dv) is home with contributions from all ranks.
+            let mut rot = self.rotate(vec![cur_k, cur_v, cur_dk, cur_dv])?;
+            cur_dv = rot.pop().expect("dv");
+            cur_dk = rot.pop().expect("dk");
+            cur_v = rot.pop().expect("v");
+            cur_k = rot.pop().expect("k");
+        }
+        Ok((dq, cur_dk, cur_dv))
+    }
+
+    fn discard(&mut self, layer: usize) {
+        self.saved.remove(&layer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdt_attention::reference;
+    use fpdt_comm::run_group;
+    use fpdt_tensor::init;
+
+    fn rand_qkv(seed: u64, s: usize, h: usize, d: usize) -> (Tensor, Tensor, Tensor) {
+        let mut rng = init::seeded_rng(seed);
+        (
+            init::randn(&mut rng, &[s, h, d], 1.0),
+            init::randn(&mut rng, &[s, h, d], 1.0),
+            init::randn(&mut rng, &[s, h, d], 1.0),
+        )
+    }
+
+    #[test]
+    fn local_executor_round_trip() {
+        let (q, k, v) = rand_qkv(0, 16, 2, 4);
+        let pos: Vec<usize> = (0..16).collect();
+        let mut rng = init::seeded_rng(1);
+        let dout = init::randn(&mut rng, &[16, 2, 4], 1.0);
+
+        let mut ex = LocalAttention::new(4);
+        let o = ex.forward(0, &q, &k, &v, &pos).unwrap();
+        let (dq, dk, dv) = ex.backward(0, &dout).unwrap();
+
+        let want_o = reference::causal_attention(&q, &k, &v).unwrap();
+        let (rdq, rdk, rdv) = reference::causal_attention_bwd(&q, &k, &v, &dout).unwrap();
+        assert!(o.allclose(&want_o, 1e-4, 1e-5));
+        assert!(dq.allclose(&rdq, 1e-3, 1e-4));
+        assert!(dk.allclose(&rdk, 1e-3, 1e-4));
+        assert!(dv.allclose(&rdv, 1e-3, 1e-4));
+        // state consumed
+        assert!(ex.backward(0, &dout).is_err());
+    }
+
+    /// Full distributed equivalence: p ranks, u chunks, offload on/off —
+    /// outputs and gradients must match a single-device reference over the
+    /// *global* sequence.
+    fn dist_matches_reference(world: usize, chunks: usize, offload: bool) {
+        let (s, h, d) = (24, 4, 4);
+        let (q, k, v) = rand_qkv(2, s, h, d);
+        let mut rng = init::seeded_rng(3);
+        let dout = init::randn(&mut rng, &[s, h, d], 1.0);
+
+        // reference on the global sequence
+        let want_o = reference::causal_attention(&q, &k, &v).unwrap();
+        let (rdq, rdk, rdv) = reference::causal_attention_bwd(&q, &k, &v, &dout).unwrap();
+
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        let shard_rows = |t: &Tensor, rank: usize| {
+            let parts: Vec<Tensor> = plan
+                .local_positions(rank)
+                .into_iter()
+                .map(|p| t.narrow(0, p, 1).unwrap())
+                .collect();
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Tensor::concat(&refs, 0).unwrap()
+        };
+
+        let results = run_group(world, |comm| {
+            let rank = comm.rank();
+            let plan = ChunkPlan::new(s, world, chunks).unwrap();
+            let pos = plan.local_positions(rank);
+            let mut ex = DistAttention::new(&comm, plan, offload);
+            let o = ex
+                .forward(
+                    0,
+                    &shard_rows(&q, rank),
+                    &shard_rows(&k, rank),
+                    &shard_rows(&v, rank),
+                    &pos,
+                )
+                .unwrap();
+            let grads = ex.backward(0, &shard_rows(&dout, rank)).unwrap();
+            let stats = ex.host_stats();
+            (o, grads, stats)
+        });
+
+        for (rank, (o, (dq, dk, dv), stats)) in results.into_iter().enumerate() {
+            assert!(
+                o.allclose(&shard_rows(&want_o, rank), 1e-3, 1e-4),
+                "o rank {rank}"
+            );
+            assert!(
+                dq.allclose(&shard_rows(&rdq, rank), 1e-3, 1e-4),
+                "dq rank {rank}"
+            );
+            assert!(
+                dk.allclose(&shard_rows(&rdk, rank), 1e-3, 1e-4),
+                "dk rank {rank}"
+            );
+            assert!(
+                dv.allclose(&shard_rows(&rdv, rank), 1e-3, 1e-4),
+                "dv rank {rank}"
+            );
+            if offload {
+                assert!(
+                    stats.offloads > 0 && stats.fetches > 0,
+                    "host pool exercised"
+                );
+            } else {
+                assert_eq!(stats.offloads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ulysses_mode_matches_reference() {
+        // chunks = 1 is exactly DeepSpeed Ulysses
+        dist_matches_reference(2, 1, false);
+    }
+
+    #[test]
+    fn fpdt_chunked_matches_reference() {
+        dist_matches_reference(2, 3, false);
+    }
+
+    #[test]
+    fn fpdt_offload_matches_reference() {
+        dist_matches_reference(2, 3, true);
+    }
+
+    #[test]
+    fn fpdt_four_ranks_matches_reference() {
+        dist_matches_reference(4, 2, true);
+    }
+
+    #[test]
+    fn backward_frees_all_cached_chunks() {
+        // After backward, the host pool must be empty — the Figure-7 nest
+        // consumes every cached chunk exactly once.
+        let (s, h, d) = (16, 2, 4);
+        let (q, k, v) = rand_qkv(9, s, h, d);
+        let dout = Tensor::ones(&[s / 2, h, d]);
+        let empty = run_group(2, |comm| {
+            let plan = ChunkPlan::new(s, 2, 4).unwrap();
+            let pos = plan.local_positions(comm.rank());
+            let shard = |t: &Tensor| {
+                let parts: Vec<Tensor> = pos.iter().map(|&p| t.narrow(0, p, 1).unwrap()).collect();
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                Tensor::concat(&refs, 0).unwrap()
+            };
+            let mut ex = DistAttention::new(&comm, plan, true);
+            ex.forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
+                .unwrap();
+            ex.backward(0, &dout).unwrap();
+            ex.host.is_empty()
+        });
+        assert!(empty.iter().all(|&e| e));
+    }
+}

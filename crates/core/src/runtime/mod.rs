@@ -1,0 +1,20 @@
+//! The real FPDT training runtime: threads as GPUs, channels as NVLink,
+//! a keyed host pool as CPU DRAM.
+//!
+//! * [`data`] — a deterministic synthetic corpus (noisy Markov chain)
+//!   that a small GPT learns quickly, so loss curves are informative.
+//! * [`gpt`] — a GPT model with hand-written backward passes whose
+//!   attention is pluggable: the same block code runs single-device,
+//!   Ulysses (one all-to-all over the whole local sequence) and FPDT
+//!   (per-chunk all-to-all + streaming attention + host offload +
+//!   Figure-7 nested backward).
+//! * [`exec`] — those attention executors.
+//! * [`dist`] — the multi-threaded trainer that reproduces paper
+//!   Figure 14: baseline and FPDT loss curves coincide.
+
+pub mod data;
+pub mod dist;
+pub mod exec;
+pub mod gpt;
+
+pub use dist::{train, Mode, TrainConfig, TrainReport};

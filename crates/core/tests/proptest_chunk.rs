@@ -1,0 +1,109 @@
+//! Property-based tests of the rank-ordinal chunk plan (paper Figure 6):
+//! for arbitrary (world, chunks, segment) geometry the shuffle must
+//! partition the sequence, gathered chunks must be contiguous and
+//! ascending, and shard/unshard must be inverse bijections.
+
+use fpdt_core::chunk::ChunkPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shuffle_is_a_permutation(
+        world in 1usize..7,
+        chunks in 1usize..7,
+        seg in 1usize..5,
+    ) {
+        let s = world * chunks * seg;
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        let mut seen = vec![false; s];
+        for r in 0..world {
+            for pos in plan.local_positions(r) {
+                prop_assert!(!seen[pos], "position {pos} assigned twice");
+                seen[pos] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn gathered_chunks_partition_into_contiguous_ranges(
+        world in 1usize..7,
+        chunks in 1usize..7,
+        seg in 1usize..5,
+    ) {
+        let s = world * chunks * seg;
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        let mut expected_start = 0;
+        for c in 0..chunks {
+            let pos = plan.gathered_positions(c);
+            prop_assert_eq!(pos[0], expected_start);
+            prop_assert!(pos.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+            expected_start = pos.last().unwrap() + 1;
+        }
+        prop_assert_eq!(expected_start, s);
+    }
+
+    #[test]
+    fn rank_concat_invariant(
+        world in 1usize..6,
+        chunks in 1usize..6,
+        seg in 1usize..4,
+    ) {
+        // Concatenating per-rank chunk-c slices in rank order must equal
+        // the gathered chunk — the exact thing the all-to-all produces.
+        let s = world * chunks * seg;
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        for c in 0..chunks {
+            let mut stitched = Vec::new();
+            for r in 0..world {
+                let local = plan.local_positions(r);
+                stitched.extend_from_slice(&local[plan.local_chunk_range(c)]);
+            }
+            prop_assert_eq!(stitched, plan.gathered_positions(c));
+        }
+    }
+
+    #[test]
+    fn shard_unshard_identity(
+        world in 1usize..6,
+        chunks in 1usize..6,
+        seg in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let s = world * chunks * seg;
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        let data: Vec<u64> = (0..s as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let locals: Vec<Vec<u64>> = (0..world).map(|r| plan.shard(r, &data)).collect();
+        prop_assert_eq!(plan.unshard(&locals), data);
+    }
+
+    #[test]
+    fn causal_monotonicity_across_chunks(
+        world in 1usize..6,
+        chunks in 2usize..6,
+        seg in 1usize..4,
+    ) {
+        // Every position in gathered chunk j must precede every position
+        // in gathered chunk i for j < i — the invariant that keeps the
+        // diagonal causal mask valid (paper Figure 6).
+        let s = world * chunks * seg;
+        let plan = ChunkPlan::new(s, world, chunks).unwrap();
+        for j in 0..chunks - 1 {
+            let max_j = *plan.gathered_positions(j).iter().max().unwrap();
+            let min_next = *plan.gathered_positions(j + 1).iter().min().unwrap();
+            prop_assert!(max_j < min_next);
+        }
+    }
+
+    #[test]
+    fn invalid_geometry_rejected(
+        s in 1usize..100,
+        world in 1usize..8,
+        chunks in 1usize..8,
+    ) {
+        let plan = ChunkPlan::new(s, world, chunks);
+        prop_assert_eq!(plan.is_ok(), s % (world * chunks) == 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Model architectures evaluated in the paper (§5.2: GPT 2.7B, 6.7B, 13B,
+//! 30B; Llama 8B, 70B) with exact parameter accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture family; decides MLP shape, biases and norm type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// GPT-3-style: learned biases, 4x GELU MLP, LayerNorm, MHA.
+    Gpt,
+    /// Llama-style: no biases, gated SiLU MLP, RMSNorm, GQA, RoPE.
+    Llama,
+}
+
+/// A decoder-only Transformer configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Display name, e.g. `"GPT-2.7B"`.
+    pub name: String,
+    /// Architecture family.
+    pub family: Family,
+    /// Number of Transformer blocks.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Query head count.
+    pub heads: usize,
+    /// Key/value head count (`== heads` for MHA; smaller for GQA).
+    pub kv_heads: usize,
+    /// MLP inner width (GPT: `4*hidden`; Llama: its published value).
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl ModelConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// GPT-3 2.7B: 32 layers, 2560 hidden, 32 heads.
+    pub fn gpt_2_7b() -> Self {
+        Self::gpt("GPT-2.7B", 32, 2560, 32)
+    }
+
+    /// GPT-3 6.7B: 32 layers, 4096 hidden, 32 heads.
+    pub fn gpt_6_7b() -> Self {
+        Self::gpt("GPT-6.7B", 32, 4096, 32)
+    }
+
+    /// GPT-3 13B: 40 layers, 5120 hidden, 40 heads.
+    pub fn gpt_13b() -> Self {
+        Self::gpt("GPT-13B", 40, 5120, 40)
+    }
+
+    /// GPT-3 30B: 48 layers, 7168 hidden, 56 heads.
+    pub fn gpt_30b() -> Self {
+        Self::gpt("GPT-30B", 48, 7168, 56)
+    }
+
+    /// Llama-3 8B: 32 layers, 4096 hidden, 32 heads (8 KV), 14336 MLP,
+    /// 128K vocabulary.
+    pub fn llama3_8b() -> Self {
+        ModelConfig {
+            name: "Llama3-8B".into(),
+            family: Family::Llama,
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 8,
+            ffn_hidden: 14336,
+            vocab: 128_256,
+        }
+    }
+
+    /// Llama-3 70B: 80 layers, 8192 hidden, 64 heads (8 KV), 28672 MLP.
+    pub fn llama_70b() -> Self {
+        ModelConfig {
+            name: "Llama-70B".into(),
+            family: Family::Llama,
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 28_672,
+            vocab: 128_256,
+        }
+    }
+
+    /// A GPT-family config with the standard `4*hidden` MLP and 50257
+    /// (padded to 50304) vocabulary.
+    pub fn gpt(name: &str, layers: usize, hidden: usize, heads: usize) -> Self {
+        ModelConfig {
+            name: name.into(),
+            family: Family::Gpt,
+            layers,
+            hidden,
+            heads,
+            kv_heads: heads,
+            ffn_hidden: 4 * hidden,
+            vocab: 50_304,
+        }
+    }
+
+    /// A deliberately tiny config for the real-runtime convergence
+    /// experiments (Figure 14) and tests.
+    pub fn tiny(layers: usize, hidden: usize, heads: usize, vocab: usize) -> Self {
+        ModelConfig {
+            name: format!("tiny-{layers}x{hidden}"),
+            family: Family::Gpt,
+            layers,
+            hidden,
+            heads,
+            kv_heads: heads,
+            ffn_hidden: 4 * hidden,
+            vocab,
+        }
+    }
+
+    /// A tiny Llama-family config (RMSNorm, SwiGLU, grouped-query
+    /// attention) for the real-runtime experiments.
+    pub fn tiny_llama(
+        layers: usize,
+        hidden: usize,
+        heads: usize,
+        kv_heads: usize,
+        vocab: usize,
+    ) -> Self {
+        ModelConfig {
+            name: format!("tiny-llama-{layers}x{hidden}"),
+            family: Family::Llama,
+            layers,
+            hidden,
+            heads,
+            kv_heads,
+            ffn_hidden: 2 * hidden,
+            vocab,
+        }
+    }
+
+    /// All six models of the paper's overall-performance evaluation
+    /// (Figure 11), smallest first.
+    pub fn paper_suite() -> Vec<ModelConfig> {
+        vec![
+            Self::gpt_2_7b(),
+            Self::gpt_6_7b(),
+            Self::llama3_8b(),
+            Self::gpt_13b(),
+            Self::gpt_30b(),
+            Self::llama_70b(),
+        ]
+    }
+
+    /// Parameters in one attention block (projections only).
+    pub fn attention_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let d = self.head_dim() as u64;
+        let kvh = self.kv_heads as u64;
+        let qh = self.heads as u64;
+        let bias = matches!(self.family, Family::Gpt);
+        // q proj h->h, k/v proj h->kv_heads*d, out proj h->h
+        let q = h * (qh * d) + if bias { qh * d } else { 0 };
+        let kv = 2 * (h * (kvh * d) + if bias { kvh * d } else { 0 });
+        let o = (qh * d) * h + if bias { h } else { 0 };
+        q + kv + o
+    }
+
+    /// Parameters in one MLP block.
+    pub fn mlp_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let f = self.ffn_hidden as u64;
+        match self.family {
+            Family::Gpt => h * f + f + f * h + h,
+            // gate, up, down — no biases
+            Family::Llama => 3 * h * f,
+        }
+    }
+
+    /// Parameters in the per-layer norms.
+    pub fn norm_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        match self.family {
+            Family::Gpt => 4 * h,   // two LayerNorms (gamma + beta)
+            Family::Llama => 2 * h, // two RMSNorms (gamma only)
+        }
+    }
+
+    /// Parameters in one Transformer block.
+    pub fn block_params(&self) -> u64 {
+        self.attention_params() + self.mlp_params() + self.norm_params()
+    }
+
+    /// Total parameters (tied input/output embedding for GPT, untied for
+    /// Llama, plus the final norm).
+    pub fn param_count(&self) -> u64 {
+        let h = self.hidden as u64;
+        let v = self.vocab as u64;
+        let blocks = self.layers as u64 * self.block_params();
+        let (embed, final_norm) = match self.family {
+            Family::Gpt => (v * h, 2 * h),
+            Family::Llama => (2 * v * h, h),
+        };
+        blocks + embed + final_norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn billions(c: &ModelConfig) -> f64 {
+        c.param_count() as f64 / 1e9
+    }
+
+    #[test]
+    fn gpt_sizes_match_names() {
+        assert!(
+            (2.4..3.1).contains(&billions(&ModelConfig::gpt_2_7b())),
+            "2.7B"
+        );
+        assert!(
+            (6.2..7.2).contains(&billions(&ModelConfig::gpt_6_7b())),
+            "6.7B"
+        );
+        assert!(
+            (12.0..14.0).contains(&billions(&ModelConfig::gpt_13b())),
+            "13B"
+        );
+        assert!(
+            (28.0..33.0).contains(&billions(&ModelConfig::gpt_30b())),
+            "30B"
+        );
+    }
+
+    #[test]
+    fn llama_sizes_match_names() {
+        assert!(
+            (7.5..8.5).contains(&billions(&ModelConfig::llama3_8b())),
+            "8B"
+        );
+        assert!(
+            (67.0..72.0).contains(&billions(&ModelConfig::llama_70b())),
+            "70B"
+        );
+    }
+
+    #[test]
+    fn head_dims_are_consistent() {
+        for c in ModelConfig::paper_suite() {
+            assert_eq!(c.head_dim() * c.heads, c.hidden, "{}", c.name);
+            assert!(c.kv_heads <= c.heads);
+            assert_eq!(c.heads % c.kv_heads, 0);
+        }
+    }
+
+    #[test]
+    fn gqa_shrinks_attention_params() {
+        let mut mha = ModelConfig::llama3_8b();
+        mha.kv_heads = mha.heads;
+        assert!(ModelConfig::llama3_8b().attention_params() < mha.attention_params());
+    }
+
+    #[test]
+    fn paper_suite_sorted_by_size() {
+        let sizes: Vec<u64> = ModelConfig::paper_suite()
+            .iter()
+            .map(ModelConfig::param_count)
+            .collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn tiny_model_is_tiny() {
+        let t = ModelConfig::tiny(2, 64, 4, 100);
+        assert!(t.param_count() < 1_000_000);
+        assert_eq!(t.head_dim(), 16);
+    }
+}

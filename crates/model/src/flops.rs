@@ -1,0 +1,105 @@
+//! FLOPs-per-training-step accounting.
+//!
+//! MFU follows the PaLM/Megatron convention the paper uses: the numerator
+//! counts only mathematically necessary work (forward + backward), so
+//! activation recomputation *lowers* MFU even though the GPU is busy.
+//!
+//! Counts are `f64`: at the paper's scales (70B parameters, 8M tokens)
+//! they exceed `u64::MAX`.
+
+use crate::config::ModelConfig;
+
+/// FLOPs of the dense (matmul) path for one token through the whole model,
+/// forward only: `2 * params_in_matmuls`.
+pub fn dense_fwd_flops_per_token(m: &ModelConfig) -> f64 {
+    // embeddings are lookups, not matmuls; the LM head is.
+    let matmul_params = m.layers as f64 * (m.attention_params() as f64 + m.mlp_params() as f64)
+        + m.hidden as f64 * m.vocab as f64;
+    2.0 * matmul_params
+}
+
+/// Attention-core FLOPs (the `QKᵀ`/`PV` part Flash kernels run), forward,
+/// for a causal sequence of `s` tokens: `2·s²·h·d` per layer.
+pub fn attention_core_fwd_flops(m: &ModelConfig, s: u64) -> f64 {
+    m.layers as f64 * 2.0 * (s as f64) * (s as f64) * (m.heads as f64) * (m.head_dim() as f64)
+}
+
+/// Model FLOPs for one full training step (forward + backward) on a
+/// sequence of `s` tokens, batch 1. Backward counts 2x forward for the
+/// dense path and 2.5x for the attention core.
+pub fn model_flops_per_step(m: &ModelConfig, s: u64) -> f64 {
+    let dense_fwd = dense_fwd_flops_per_token(m) * s as f64;
+    let attn_fwd = attention_core_fwd_flops(m, s);
+    3.0 * dense_fwd + 3.5 * attn_fwd
+}
+
+/// Compute FLOPs actually executed when activation checkpointing re-runs
+/// the forward during backward: one extra forward pass.
+pub fn compute_flops_per_step(m: &ModelConfig, s: u64, recompute: bool) -> f64 {
+    let extra = if recompute {
+        dense_fwd_flops_per_token(m) * s as f64 + attention_core_fwd_flops(m, s)
+    } else {
+        0.0
+    };
+    model_flops_per_step(m, s) + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_nd_rule_of_thumb_at_short_context() {
+        // For short sequences, model FLOPs/step ≈ 6 * params * tokens.
+        let m = ModelConfig::gpt_2_7b();
+        let s = 2048u64;
+        let got = model_flops_per_step(&m, s);
+        let rough = 6.0 * m.param_count() as f64 * s as f64;
+        let ratio = got / rough;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn attention_dominates_at_long_context() {
+        // At millions of tokens the quadratic attention term dominates the
+        // dense term — the regime the paper lives in.
+        let m = ModelConfig::gpt_2_7b();
+        let s = 2_097_152u64; // 2M
+        let attn = attention_core_fwd_flops(&m, s) * 3.5;
+        let total = model_flops_per_step(&m, s);
+        assert!(attn / total > 0.8, "attention share {}", attn / total);
+    }
+
+    #[test]
+    fn no_overflow_at_extreme_scale() {
+        // 70B model at 8M tokens exceeds u64 FLOP counts; f64 must stay
+        // finite and positive.
+        let m = ModelConfig::llama_70b();
+        let f = model_flops_per_step(&m, 8 * 1024 * 1024);
+        assert!(f.is_finite() && f > 1e19);
+    }
+
+    #[test]
+    fn recompute_adds_one_forward() {
+        let m = ModelConfig::llama3_8b();
+        let s = 65_536u64;
+        let plain = compute_flops_per_step(&m, s, false);
+        let ac = compute_flops_per_step(&m, s, true);
+        assert!(ac > plain);
+        // extra work is roughly a quarter to a third of the fwd+bwd total
+        let ratio = (ac - plain) / plain;
+        assert!((0.2..0.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flops_monotone_in_model_size() {
+        let s = 32_768u64;
+        let suite = ModelConfig::paper_suite();
+        let mut prev = 0.0f64;
+        for m in &suite {
+            let f = model_flops_per_step(m, s);
+            assert!(f > prev, "{} not larger", m.name);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # fpdt-model
+//!
+//! The model zoo and accounting layer of the FPDT reproduction:
+//!
+//! * [`config`] — architectures for every model the paper evaluates
+//!   (GPT 2.7B/6.7B/13B/30B, Llama-3 8B, Llama 70B) with exact parameter
+//!   counts, including Llama's grouped-query attention and gated MLP.
+//! * [`flops`] — model FLOPs per training step (the MFU numerator, which
+//!   deliberately excludes activation-recompute work) and compute FLOPs
+//!   (which includes it).
+//! * [`memory`] — byte accounting: parameter/gradient/optimizer-state
+//!   footprints under ZeRO sharding, and the per-operation transient
+//!   activation buffers of paper Table 2.
+//! * [`mfu`] — Model FLOPs Utilization given a step time and cluster.
+//!
+//! ## Example
+//!
+//! ```
+//! use fpdt_model::config::ModelConfig;
+//!
+//! let llama = ModelConfig::llama3_8b();
+//! let billions = llama.param_count() as f64 / 1e9;
+//! assert!((7.5..8.5).contains(&billions));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod flops;
+pub mod memory;
+pub mod mfu;
+
+pub use config::{Family, ModelConfig};

@@ -1,0 +1,388 @@
+//! Byte-exact memory accounting.
+//!
+//! Three ingredients decide every OOM boundary in the paper:
+//!
+//! 1. **Static model state** ([`static_bytes`]): bf16 parameters and
+//!    gradients plus fp32 Adam state (master copy, momentum, variance =
+//!    12 bytes/param), each divided by its ZeRO/TP sharding factor.
+//! 2. **Per-block activation working set** ([`BlockActivations`]): the
+//!    transient buffers of paper Table 2 — QKV projections, all-to-all
+//!    receive buffers, FlashAttention backward inputs, FFN intermediates —
+//!    under the baseline (monolithic), chunked, and chunked+offloaded
+//!    execution schemes.
+//! 3. **The vocabulary/loss spike** ([`loss_spike_bytes`]): logits and
+//!    their gradients at the end of the forward pass (paper §5.4), divided
+//!    by the loss chunk count.
+//!
+//! All activation byte counts assume bf16 storage (2 bytes), matching the
+//! paper; fp32 is charged only where the real stacks use it (loss).
+
+use crate::config::{Family, ModelConfig};
+
+/// Bytes per bf16 scalar.
+pub const BF16: u64 = 2;
+/// Bytes per fp32 scalar.
+pub const F32: u64 = 4;
+/// Adam optimizer bytes per parameter: fp32 master + momentum + variance.
+pub const ADAM_BYTES_PER_PARAM: u64 = 12;
+
+/// Sharding divisors for the three kinds of model state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Parameter sharding factor (ZeRO-3 / TP degree).
+    pub params: usize,
+    /// Gradient sharding factor (ZeRO-2+).
+    pub grads: usize,
+    /// Optimizer-state sharding factor (ZeRO-1+).
+    pub optimizer: usize,
+}
+
+impl ShardSpec {
+    /// Plain data parallelism: everything replicated.
+    pub fn ddp() -> Self {
+        ShardSpec {
+            params: 1,
+            grads: 1,
+            optimizer: 1,
+        }
+    }
+
+    /// ZeRO stage 1 over `world` ranks.
+    pub fn zero1(world: usize) -> Self {
+        ShardSpec {
+            params: 1,
+            grads: 1,
+            optimizer: world,
+        }
+    }
+
+    /// ZeRO stage 2 over `world` ranks.
+    pub fn zero2(world: usize) -> Self {
+        ShardSpec {
+            params: 1,
+            grads: world,
+            optimizer: world,
+        }
+    }
+
+    /// ZeRO stage 3 over `world` ranks.
+    pub fn zero3(world: usize) -> Self {
+        ShardSpec {
+            params: world,
+            grads: world,
+            optimizer: world,
+        }
+    }
+
+    /// Tensor parallelism of degree `tp` (Megatron): all three shard.
+    pub fn tensor_parallel(tp: usize) -> Self {
+        ShardSpec {
+            params: tp,
+            grads: tp,
+            optimizer: tp,
+        }
+    }
+}
+
+/// Static per-GPU model-state bytes under a sharding spec.
+pub fn static_bytes(model: &ModelConfig, shard: ShardSpec) -> u64 {
+    let p = model.param_count();
+    let params = BF16 * p / shard.params as u64;
+    let grads = BF16 * p / shard.grads as u64;
+    let opt = ADAM_BYTES_PER_PARAM * p / shard.optimizer as u64;
+    params + grads + opt
+}
+
+/// Loss-head spike bytes for `tokens_local` tokens, divided into
+/// `chunks` loss chunks (paper §5.4: bf16 logits + bf16 logit grads +
+/// fp32 softmax workspace per chunk).
+pub fn loss_spike_bytes(tokens_local: u64, vocab: u64, chunks: u64) -> u64 {
+    let per_chunk_tokens = tokens_local.div_ceil(chunks.max(1));
+    per_chunk_tokens * vocab * (2 * BF16 + F32)
+}
+
+/// The paper's suggested loss chunk count, `vocab / hidden * 2` (§5.4).
+pub fn suggested_loss_chunks(model: &ModelConfig) -> u64 {
+    ((model.vocab as u64 * 2) / model.hidden as u64).max(1)
+}
+
+/// One row of paper Table 2: transient activation bytes created at each
+/// step of a Transformer block, in units of `N·d` bf16 elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Hidden-state input.
+    pub hidden: u64,
+    /// Query/key/value projections.
+    pub qkv_proj: u64,
+    /// All-to-all receive buffers (forward only; backward reuses).
+    pub all2all: u64,
+    /// Attention kernel working set.
+    pub attention: u64,
+    /// Feed-forward intermediates.
+    pub ffn: u64,
+    /// Norms, residuals, masks.
+    pub other: u64,
+}
+
+/// Paper Table 2, forward row.
+pub fn table2_forward() -> Table2Row {
+    Table2Row {
+        hidden: 1,
+        qkv_proj: 3,
+        all2all: 4,
+        attention: 4,
+        ffn: 4,
+        other: 3,
+    }
+}
+
+/// Paper Table 2, backward row (all-to-all and "other" not separately
+/// charged in the paper's table).
+pub fn table2_backward() -> Table2Row {
+    Table2Row {
+        hidden: 2,
+        qkv_proj: 6,
+        all2all: 0,
+        attention: 8,
+        ffn: 8,
+        other: 0,
+    }
+}
+
+/// Per-block activation working-set calculator.
+///
+/// `unit` is the byte size of one `[tokens_local, hidden]` bf16 tensor —
+/// the `C` every coefficient below multiplies. Coefficients follow
+/// Table 2 plus the FFN width ratio of the actual model.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockActivations {
+    /// Bytes of one `[N_local, hidden]` bf16 activation.
+    pub unit: u64,
+    /// `ffn_hidden / hidden` (doubled for gated MLPs, which materialize
+    /// both the gate and up projections).
+    pub ffn_ratio: f64,
+    /// `kv_heads / heads`: GQA shrinks the K/V tensors.
+    pub kv_ratio: f64,
+}
+
+impl BlockActivations {
+    /// Builds the calculator for `tokens_local` tokens of `model` per GPU.
+    pub fn new(model: &ModelConfig, tokens_local: u64) -> Self {
+        let gate = match model.family {
+            Family::Gpt => 1.0,
+            Family::Llama => 2.0, // gate + up both live
+        };
+        BlockActivations {
+            unit: BF16 * tokens_local * model.hidden as u64,
+            ffn_ratio: gate * model.ffn_hidden as f64 / model.hidden as f64,
+            kv_ratio: model.kv_heads as f64 / model.heads as f64,
+        }
+    }
+
+    fn c(&self, coeff: f64) -> u64 {
+        (self.unit as f64 * coeff) as u64
+    }
+
+    /// QKV tensor coefficient: `1 + 2*kv_ratio` units.
+    fn qkv_coeff(&self) -> f64 {
+        1.0 + 2.0 * self.kv_ratio
+    }
+
+    /// Monolithic (baseline Ulysses) forward working set of one block:
+    /// input + QKV + all-to-all receive buffers + attention output + FFN
+    /// intermediates, all at full local sequence length.
+    pub fn fwd_monolithic(&self) -> u64 {
+        // input(1) + qkv(q+k+v) + recv(q+k+v) + attn out(1) + norm(1)
+        // + ffn intermediates (up [+gate] and activation grad staging)
+        self.c(3.0 + 2.0 * self.qkv_coeff() + self.ffn_ratio + 1.0)
+    }
+
+    /// Monolithic backward working set (with activation checkpointing the
+    /// forward set is re-materialized, then gradient buffers join it —
+    /// FlashAttention backward alone holds `q,k,v,o,dO,dq,dk,dv`).
+    pub fn bwd_monolithic(&self) -> u64 {
+        let fwd = self.fwd_monolithic();
+        // grads for qkv (both sides of all-to-all), attention out, input,
+        // and FFN intermediates
+        fwd + self.c(2.0 * self.qkv_coeff() + 2.0 + self.ffn_ratio)
+    }
+
+    /// FPDT forward with `u` chunks, KV kept on HBM (no offload): the
+    /// full-sequence QKV and hidden tensors persist, but every transient
+    /// (receive buffers, attention workspace, FFN intermediates at `2u`
+    /// chunks) shrinks by the chunk factor.
+    pub fn fwd_chunked(&self, u: u64) -> u64 {
+        let u = u.max(1) as f64;
+        let persistent = 2.0 + self.qkv_coeff(); // input + output + full QKV
+        let transient = (self.qkv_coeff() + 2.0) / u + self.ffn_ratio / (2.0 * u);
+        self.c(persistent + transient)
+    }
+
+    /// FPDT backward with `u` chunks, no offload.
+    pub fn bwd_chunked(&self, u: u64) -> u64 {
+        let u = u.max(1) as f64;
+        // persistent: qkv + dqkv + hidden in/out + d(hidden)
+        let persistent = 2.0 * self.qkv_coeff() + 4.0;
+        let transient = (self.qkv_coeff() + 2.0) / u + self.ffn_ratio / (2.0 * u);
+        self.c(persistent + transient)
+    }
+
+    /// FPDT forward with `u` chunks and host offloading: only the current
+    /// and prefetched chunks reside on HBM (double buffering), everything
+    /// else lives in host memory.
+    pub fn fwd_chunked_offload(&self, u: u64) -> u64 {
+        let u = u.max(1) as f64;
+        // double-buffered qkv chunks + receive buffers + online-attention
+        // accumulator + hidden in/out chunks + FFN transient at 2u chunks
+        let per_chunk = 2.0 * self.qkv_coeff() + self.qkv_coeff() + 4.0;
+        self.c(per_chunk / u + self.ffn_ratio / (2.0 * u))
+    }
+
+    /// FPDT backward with `u` chunks and host offloading (Figure 7): one
+    /// KV chunk + one query chunk + their gradients + the prefetch buffers.
+    pub fn bwd_chunked_offload(&self, u: u64) -> u64 {
+        let u = u.max(1) as f64;
+        // q_i, k_j, v_j, dO_i, dq_i, dk_j, dv_j (+ double buffers for the
+        // next of each) + hidden chunk in/out grads
+        let per_chunk = 2.0 * (3.0 * self.qkv_coeff() + 2.0) + 2.0;
+        self.c(per_chunk / u + self.ffn_ratio / (2.0 * u))
+    }
+
+    /// Host-memory bytes consumed by offloading: the cached QKV for the
+    /// whole local sequence, per layer.
+    pub fn offload_host_bytes_per_layer(&self) -> u64 {
+        self.c(self.qkv_coeff())
+    }
+
+    /// Activation bytes *saved for backward* per layer when no activation
+    /// checkpointing is used: block input, QKV (Flash keeps them), the
+    /// attention output + softmax statistics, norm outputs, and the MLP
+    /// intermediates.
+    pub fn saved_per_layer(&self) -> u64 {
+        self.c(3.0 + self.qkv_coeff() + self.ffn_ratio / 2.0 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    #[test]
+    fn shard_specs() {
+        assert_eq!(
+            ShardSpec::ddp(),
+            ShardSpec {
+                params: 1,
+                grads: 1,
+                optimizer: 1
+            }
+        );
+        assert_eq!(ShardSpec::zero1(8).optimizer, 8);
+        assert_eq!(ShardSpec::zero2(8).grads, 8);
+        assert_eq!(ShardSpec::zero3(8).params, 8);
+    }
+
+    #[test]
+    fn zero3_static_memory_for_llama8b_on_8_gpus() {
+        // 8B params * 16 bytes / 8 GPUs = ~16 GiB/GPU, the gray region of
+        // the paper's Table 3 rows.
+        let m = ModelConfig::llama3_8b();
+        let b = static_bytes(&m, ShardSpec::zero3(8)) as f64 / GIB;
+        assert!((13.0..18.0).contains(&b), "{b} GiB");
+    }
+
+    #[test]
+    fn zero_stages_strictly_shrink_memory() {
+        let m = ModelConfig::llama3_8b();
+        let ddp = static_bytes(&m, ShardSpec::ddp());
+        let z1 = static_bytes(&m, ShardSpec::zero1(8));
+        let z2 = static_bytes(&m, ShardSpec::zero2(8));
+        let z3 = static_bytes(&m, ShardSpec::zero3(8));
+        assert!(ddp > z1 && z1 > z2 && z2 > z3);
+        // ZeRO-1 keeps full bf16 params+grads (4P ≈ 30 GiB for 8B) plus a
+        // 1/8 optimizer shard; ZeRO-3 shards everything down to ~15 GiB.
+        let delta = (z1 - z3) as f64 / GIB;
+        assert!((20.0..30.0).contains(&delta), "delta {delta} GiB");
+    }
+
+    #[test]
+    fn loss_spike_is_the_dominant_unchunked_term() {
+        // Llama-3 8B at 512K over 8 GPUs: 64K tokens * 128K vocab.
+        let spike = loss_spike_bytes(65_536, 128_256, 1) as f64 / GIB;
+        assert!((55.0..70.0).contains(&spike), "{spike} GiB");
+        // chunked per the paper's rule it becomes trivial
+        let m = ModelConfig::llama3_8b();
+        let chunks = suggested_loss_chunks(&m);
+        assert_eq!(chunks, 62);
+        let chunked = loss_spike_bytes(65_536, 128_256, chunks) as f64 / GIB;
+        assert!(chunked < 1.5, "{chunked} GiB");
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let f = table2_forward();
+        assert_eq!(
+            (f.hidden, f.qkv_proj, f.all2all, f.attention, f.ffn, f.other),
+            (1, 3, 4, 4, 4, 3)
+        );
+        let b = table2_backward();
+        assert_eq!((b.hidden, b.qkv_proj, b.attention, b.ffn), (2, 6, 8, 8));
+    }
+
+    #[test]
+    fn chunking_strictly_reduces_working_set() {
+        let m = ModelConfig::gpt_2_7b();
+        let act = BlockActivations::new(&m, 65_536); // 256K over 4 GPUs
+        let mono = act.bwd_monolithic();
+        let mut prev = mono;
+        for u in [2, 4, 8, 16, 32] {
+            let chunked = act.bwd_chunked(u);
+            assert!(chunked < prev, "u={u}");
+            prev = chunked;
+        }
+        // offload cuts below no-offload at the same chunk count
+        assert!(act.bwd_chunked_offload(4) < act.bwd_chunked(4));
+    }
+
+    #[test]
+    fn chunked_no_offload_has_floor() {
+        // Without offload the full-sequence QKV persists: more chunks
+        // cannot reduce below the persistent floor (the paper's motivation
+        // for offloading).
+        let m = ModelConfig::gpt_6_7b();
+        let act = BlockActivations::new(&m, 131_072);
+        let floor = act.c(2.0 + act.qkv_coeff());
+        assert!(act.fwd_chunked(1024) >= floor);
+        // while offload keeps shrinking toward zero
+        assert!(act.fwd_chunked_offload(1024) < floor / 8);
+    }
+
+    #[test]
+    fn gqa_reduces_kv_footprint() {
+        let llama = ModelConfig::llama3_8b();
+        let mut mha = llama.clone();
+        mha.kv_heads = mha.heads;
+        let a = BlockActivations::new(&llama, 65_536);
+        let b = BlockActivations::new(&mha, 65_536);
+        assert!(a.fwd_monolithic() < b.fwd_monolithic());
+        assert!(a.offload_host_bytes_per_layer() < b.offload_host_bytes_per_layer());
+    }
+
+    #[test]
+    fn figure12_scale_activation_memory() {
+        // Figure 12a: 2.7B model, 256K global over 4 GPUs — activations
+        // drop from ~27 GB (baseline) toward single-digit GB with chunking.
+        let m = ModelConfig::gpt_2_7b();
+        let act = BlockActivations::new(&m, 65_536);
+        let loss = loss_spike_bytes(65_536, m.vocab as u64, 1);
+        let base = (act.bwd_monolithic() + loss) as f64 / GIB;
+        assert!((15.0..40.0).contains(&base), "baseline {base} GiB");
+        let chunked = (act.bwd_chunked_offload(4)
+            + loss_spike_bytes(65_536, m.vocab as u64, suggested_loss_chunks(&m)))
+            as f64
+            / GIB;
+        assert!(chunked < base / 3.0, "chunked {chunked} vs {base}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Model FLOPs Utilization.
+
+use crate::config::ModelConfig;
+use crate::flops;
+
+/// MFU given a measured/simulated step time on `gpus` devices with
+/// `peak_flops_per_gpu` each: model FLOPs (no recompute) over delivered
+/// FLOPs.
+pub fn mfu(
+    model: &ModelConfig,
+    seq: u64,
+    step_seconds: f64,
+    gpus: usize,
+    peak_flops_per_gpu: f64,
+) -> f64 {
+    if step_seconds <= 0.0 {
+        return 0.0;
+    }
+    flops::model_flops_per_step(model, seq) / (step_seconds * gpus as f64 * peak_flops_per_gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mfu_basics() {
+        let m = ModelConfig::gpt_2_7b();
+        let s = 65_536;
+        let ideal_time = flops::model_flops_per_step(&m, s) / (4.0 * 312e12);
+        // running at exactly peak would be MFU 1.0
+        let u = mfu(&m, s, ideal_time, 4, 312e12);
+        assert!((u - 1.0).abs() < 1e-9);
+        // half speed -> 0.5
+        let u = mfu(&m, s, 2.0 * ideal_time, 4, 312e12);
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(mfu(&m, s, 0.0, 4, 312e12), 0.0);
+    }
+
+    #[test]
+    fn recompute_lowers_mfu_at_fixed_hardware_efficiency() {
+        // If the GPU sustains a fixed fraction of peak, enabling recompute
+        // increases time but not model FLOPs, so MFU drops.
+        let m = ModelConfig::gpt_2_7b();
+        let s = 131_072;
+        let eff = 0.6;
+        let t_plain = flops::compute_flops_per_step(&m, s, false) / (4.0 * 312e12 * eff);
+        let t_ac = flops::compute_flops_per_step(&m, s, true) / (4.0 * 312e12 * eff);
+        assert!(mfu(&m, s, t_ac, 4, 312e12) < mfu(&m, s, t_plain, 4, 312e12));
+    }
+}

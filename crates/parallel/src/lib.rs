@@ -1,0 +1,37 @@
+//! # fpdt-parallel
+//!
+//! The baseline long-context training strategies the paper compares FPDT
+//! against, implemented as analytic *estimators* over the `fpdt-sim`
+//! hardware/cost model:
+//!
+//! * [`megatron::MegatronSp`] — Megatron tensor parallelism with optional
+//!   sequence parallelism (Korthikanti et al.): blocking
+//!   all-gather/reduce-scatter per layer whose volume scales with the
+//!   activation size regardless of device count.
+//! * [`ulysses::Ulysses`] — DeepSpeed Ulysses (Jacobs et al.): sequence
+//!   sharding with a per-layer head-scatter/sequence-gather all-to-all,
+//!   composable with the ZeRO family.
+//! * [`ring::RingAttention`] — Ring Attention (Liu et al.): sequence
+//!   sharding with KV blocks rotating around a ring, overlapping transfer
+//!   with blockwise attention.
+//! * [`zero`] — ZeRO-1/2/3 sharding specs and their collective traffic.
+//!
+//! Every strategy implements the [`Strategy`] trait, producing a
+//! [`StepEstimate`] (step time, peak HBM, host bytes, MFU, fits?) for a
+//! [`TrainSetup`]; [`max_seq_len`] ladder-searches the longest context
+//! that fits — the machinery behind paper Table 1, Table 3 and
+//! Figures 1/11/12. The FPDT strategy itself lives in `fpdt-core` and
+//! implements the same trait.
+
+#![deny(missing_docs)]
+
+pub mod megatron;
+pub mod ring;
+mod setup;
+pub mod ulysses;
+pub mod zero;
+
+pub use setup::{
+    max_seq_len, seq_ladder, StepEstimate, Strategy, TrainSetup, FRAG_FACTOR,
+    FRAMEWORK_OVERHEAD_BYTES, PER_STEP_FRAMEWORK_SECONDS,
+};

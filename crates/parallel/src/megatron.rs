@@ -1,0 +1,223 @@
+//! Megatron-SP (Korthikanti et al., 2023): tensor parallelism with
+//! sequence parallelism in the norm/dropout regions. Each layer runs two
+//! all-gathers and two reduce-scatters per pass whose volume scales with
+//! the full activation size `M` *regardless of device count* — the
+//! communication property the paper contrasts with Ulysses.
+
+use crate::setup::{StepEstimate, Strategy, TrainSetup};
+use crate::ulysses::sharded_compute_seconds;
+use fpdt_model::memory::{loss_spike_bytes, static_bytes, BlockActivations, ShardSpec, BF16};
+use fpdt_sim::cost::CostModel;
+
+/// Configuration of the Megatron-SP baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegatronSp {
+    /// Shard activations along the sequence in the norm regions
+    /// (Megatron's "sequence parallelism"; without it those activations
+    /// are replicated on every tensor-parallel rank).
+    pub sequence_parallel: bool,
+    /// Re-compute block activations in backward.
+    pub activation_checkpoint: bool,
+    /// Move checkpoints to host memory.
+    pub offload_checkpoint: bool,
+}
+
+impl MegatronSp {
+    /// The configuration used as "Megatron-SP" in Figure 11.
+    pub fn paper_baseline() -> Self {
+        MegatronSp {
+            sequence_parallel: true,
+            activation_checkpoint: true,
+            offload_checkpoint: true,
+        }
+    }
+
+    /// Plain tensor parallelism (Table 3's first rows).
+    pub fn tensor_parallel_only(activation_checkpoint: bool, offload_checkpoint: bool) -> Self {
+        MegatronSp {
+            sequence_parallel: false,
+            activation_checkpoint,
+            offload_checkpoint,
+        }
+    }
+}
+
+impl Default for MegatronSp {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl Strategy for MegatronSp {
+    fn name(&self) -> String {
+        let mut n = if self.sequence_parallel {
+            "Megatron-SP"
+        } else {
+            "Megatron-TP"
+        }
+        .to_string();
+        if self.activation_checkpoint {
+            n.push_str("+AC");
+        }
+        if self.offload_checkpoint {
+            n.push_str("+OC");
+        }
+        n
+    }
+
+    fn estimate(&self, setup: &TrainSetup) -> StepEstimate {
+        let p = setup.world();
+        let cost = CostModel::new(setup.cluster.clone());
+        let m = &setup.model;
+        let s = setup.seq_len * setup.batch;
+        // Tensor parallelism shards hidden, not sequence: the "local"
+        // token count for activation purposes is the full sequence, with
+        // widths divided by p (equivalently: unit bytes / p).
+        let s_shard = s.div_ceil(p as u64);
+        let act = BlockActivations::new(m, s_shard);
+        let unit_full = BF16 * s * m.hidden as u64; // unsharded activation
+
+        // --- time ---
+        let compute = sharded_compute_seconds(setup, &cost, self.activation_checkpoint);
+        // Per layer, per pass: 2 all-gathers + 2 reduce-scatters, each on
+        // the full [s, hidden] activation (volume independent of p).
+        let coll_once =
+            2.0 * cost.all_gather_time(unit_full, p) + 2.0 * cost.reduce_scatter_time(unit_full, p);
+        let passes = if self.activation_checkpoint { 3.0 } else { 2.0 };
+        let coll_total = m.layers as f64 * coll_once * passes;
+        let oc_seconds = if self.offload_checkpoint {
+            2.0 * m.layers as f64 * cost.h2d_time(unit_full / p as u64, setup.cluster.node.gpus)
+        } else {
+            0.0
+        };
+        let step_time =
+            compute.max(oc_seconds) + coll_total + crate::setup::PER_STEP_FRAMEWORK_SECONDS;
+
+        // --- memory ---
+        // Megatron shards params/grads/optimizer by tp.
+        let static_hbm = static_bytes(m, ShardSpec::tensor_parallel(p));
+        // Replication penalty without sequence parallelism: norm/residual
+        // activations (≈3 units of the *full* sequence) live on every rank.
+        let replicated = if self.sequence_parallel {
+            0
+        } else {
+            3 * unit_full
+        };
+        let saved =
+            if self.activation_checkpoint {
+                if self.offload_checkpoint {
+                    2 * (unit_full / p as u64)
+                } else {
+                    m.layers as u64 * (unit_full / p as u64)
+                }
+            } else {
+                m.layers as u64 * act.saved_per_layer()
+            } + if self.activation_checkpoint && !self.sequence_parallel && !self.offload_checkpoint
+            {
+                // checkpoints themselves are replicated without SP
+                m.layers as u64 * unit_full * (p as u64 - 1) / p as u64
+            } else {
+                0
+            };
+        let no_ac_replication = if !self.activation_checkpoint {
+            m.layers as u64 * replicated
+        } else {
+            replicated
+        };
+        let working_set = act.bwd_monolithic();
+        // Megatron's vocab-parallel cross entropy shards the logits by tp.
+        let loss = loss_spike_bytes(s, m.vocab as u64, 1) / p as u64;
+        let activation_hbm = saved + no_ac_replication + working_set + loss;
+        let host = if self.offload_checkpoint {
+            m.layers as u64 * (unit_full / p as u64) * setup.cluster.node.gpus as u64
+        } else {
+            0
+        };
+        StepEstimate::from_parts(setup, step_time, static_hbm, activation_hbm, host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::max_seq_len;
+    use crate::ulysses::Ulysses;
+    use fpdt_model::config::ModelConfig;
+    use fpdt_sim::hw::ClusterSpec;
+
+    const K: u64 = 1024;
+
+    #[test]
+    fn table3_tp_ladder() {
+        // Table 3 rows 1-3 (8B Llama, 8 GPUs): TP-only caps around 32K;
+        // +AC extends it; +AC+OC extends it further to ~512K.
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let tp = MegatronSp::tensor_parallel_only(false, false);
+        let tp_ac = MegatronSp::tensor_parallel_only(true, false);
+        let tp_ac_oc = MegatronSp::tensor_parallel_only(true, true);
+        let a = max_seq_len(&tp, &m, &cluster).unwrap();
+        let b = max_seq_len(&tp_ac, &m, &cluster).unwrap();
+        let c = max_seq_len(&tp_ac_oc, &m, &cluster).unwrap();
+        assert!(a < b && b < c, "{a} < {b} < {c}");
+        assert!((32 * K..=64 * K).contains(&a), "TP-only: {}K", a / K);
+        assert!((256 * K..=1024 * K).contains(&c), "TP+AC+OC: {}K", c / K);
+    }
+
+    #[test]
+    fn megatron_slower_than_ulysses_across_nodes() {
+        // Paper §5.2: "Ulysses is generally more efficient than
+        // Megatron-SP, as the latter's performance degrades severely when
+        // inter-node communication is included."
+        let m = ModelConfig::gpt_13b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let setup = TrainSetup::new(m, cluster, 256 * K);
+        let meg = MegatronSp::paper_baseline().estimate(&setup);
+        let uly = Ulysses::paper_baseline().estimate(&setup);
+        assert!(
+            meg.mfu < uly.mfu,
+            "megatron {} vs ulysses {}",
+            meg.mfu,
+            uly.mfu
+        );
+    }
+
+    #[test]
+    fn intra_node_methods_comparable() {
+        // Within one node the paper finds similar hardware efficiency.
+        let m = ModelConfig::gpt_2_7b();
+        let cluster = ClusterSpec::a100_80g(1, 4);
+        let setup = TrainSetup::new(m, cluster, 128 * K);
+        let meg = MegatronSp::paper_baseline().estimate(&setup);
+        let uly = Ulysses::paper_baseline().estimate(&setup);
+        let ratio = meg.mfu / uly.mfu;
+        assert!((0.4..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sequence_parallel_saves_memory() {
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let setup = TrainSetup::new(m, cluster, 128 * K);
+        let sp = MegatronSp {
+            sequence_parallel: true,
+            activation_checkpoint: false,
+            offload_checkpoint: false,
+        };
+        let tp = MegatronSp {
+            sequence_parallel: false,
+            activation_checkpoint: false,
+            offload_checkpoint: false,
+        };
+        assert!(sp.estimate(&setup).peak_hbm < tp.estimate(&setup).peak_hbm);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MegatronSp::paper_baseline().name(), "Megatron-SP+AC+OC");
+        assert_eq!(
+            MegatronSp::tensor_parallel_only(false, false).name(),
+            "Megatron-TP"
+        );
+    }
+}

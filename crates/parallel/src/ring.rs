@@ -1,0 +1,164 @@
+//! Ring Attention (Liu et al., 2023): shard the sequence, keep heads
+//! whole, and rotate KV blocks around a ring of devices, overlapping each
+//! hop with blockwise attention on the block in hand. Implemented as the
+//! third comparator (paper §2.2) and as an ablation target: unlike FPDT it
+//! needs `p-1` communication rounds per attention call and its overlap
+//! breaks when a hop outlasts a block's compute.
+
+use crate::setup::{StepEstimate, Strategy, TrainSetup};
+use crate::ulysses::sharded_compute_seconds;
+use crate::zero::ZeroStage;
+use fpdt_model::flops;
+use fpdt_model::memory::{loss_spike_bytes, static_bytes, BlockActivations, BF16};
+use fpdt_sim::cost::CostModel;
+
+/// Configuration of the Ring Attention baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingAttention {
+    /// ZeRO stage for model state.
+    pub zero: ZeroStage,
+    /// Re-compute block activations in backward.
+    pub activation_checkpoint: bool,
+    /// Move checkpoints to host memory.
+    pub offload_checkpoint: bool,
+}
+
+impl RingAttention {
+    /// Defaults matching the other baselines (ZeRO-3 + AC + OC).
+    pub fn paper_baseline() -> Self {
+        RingAttention {
+            zero: ZeroStage::Three,
+            activation_checkpoint: true,
+            offload_checkpoint: true,
+        }
+    }
+}
+
+impl Default for RingAttention {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl Strategy for RingAttention {
+    fn name(&self) -> String {
+        "RingAttention+ZeRO-3+AC+OC".to_string()
+    }
+
+    fn estimate(&self, setup: &TrainSetup) -> StepEstimate {
+        let p = setup.world();
+        let cost = CostModel::new(setup.cluster.clone());
+        let m = &setup.model;
+        let s_local = (setup.seq_len * setup.batch).div_ceil(p as u64);
+        let act = BlockActivations::new(m, s_local);
+        let unit = BF16 * s_local * m.hidden as u64;
+
+        // --- time ---
+        // Dense compute is identical to Ulysses; the attention part runs
+        // as p ring steps per layer, each hop moving the local KV block to
+        // the neighbor while computing on the current one. Per-layer
+        // attention time = sum over steps of max(block_compute, hop_time):
+        // overlap is perfect only when compute >= hop (the paper's
+        // "performance can be unpredictably affected by network latency").
+        let compute = sharded_compute_seconds(setup, &cost, self.activation_checkpoint);
+        let attn_total_fwd = flops::attention_core_fwd_flops(m, setup.seq_len) / p as f64;
+        let passes: f64 = if self.activation_checkpoint { 2.0 } else { 1.0 }; // fwd (+recompute)
+        let block_fwd = cost.attention_time(attn_total_fwd / p as f64);
+        let block_bwd = cost.attention_time(2.5 * attn_total_fwd / p as f64);
+        let kv_bytes = (2.0 * unit as f64 * m.kv_heads as f64 / m.heads as f64) as u64;
+        let hop = cost.p2p_time(kv_bytes)
+            + if setup.cluster.spans_nodes(p) {
+                kv_bytes as f64 / setup.cluster.ib_bw
+            } else {
+                0.0
+            };
+        let ring_overhead_per_layer =
+            (p as f64 - 1.0) * ((hop - block_fwd).max(0.0) * passes + (hop - block_bwd).max(0.0));
+        // the already-counted attention compute stays; only stalls add.
+        let zero_comm = self.zero.comm_seconds(m, &cost, p);
+        let step_time = compute
+            + zero_comm
+            + m.layers as f64 * ring_overhead_per_layer
+            + m.layers as f64 * 2.0 * (p as f64) * setup.cluster.node.link_latency
+            + crate::setup::PER_STEP_FRAMEWORK_SECONDS;
+
+        // --- memory ---
+        let static_hbm =
+            static_bytes(m, self.zero.shard_spec(p)) + self.zero.live_param_overhead(m);
+        let saved = if self.activation_checkpoint {
+            if self.offload_checkpoint {
+                2 * unit
+            } else {
+                m.layers as u64 * unit
+            }
+        } else {
+            m.layers as u64 * act.saved_per_layer()
+        };
+        // Working set: like Ulysses minus the all-to-all receive buffers,
+        // plus the in-flight KV block double buffer.
+        let working_set =
+            act.bwd_monolithic() - 2 * kv_bytes.min(act.bwd_monolithic() / 4) + 2 * kv_bytes;
+        let loss = loss_spike_bytes(s_local, m.vocab as u64, 4);
+        let host = if self.offload_checkpoint {
+            m.layers as u64 * unit * setup.cluster.node.gpus as u64
+        } else {
+            0
+        };
+        StepEstimate::from_parts(
+            setup,
+            step_time,
+            static_hbm,
+            saved + working_set + loss,
+            host,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::max_seq_len;
+    use crate::ulysses::Ulysses;
+    use fpdt_model::config::ModelConfig;
+    use fpdt_sim::hw::ClusterSpec;
+
+    const K: u64 = 1024;
+
+    #[test]
+    fn ring_reaches_similar_context_to_ulysses() {
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let ring = max_seq_len(&RingAttention::paper_baseline(), &m, &cluster).unwrap();
+        let uly = max_seq_len(&Ulysses::paper_baseline(), &m, &cluster).unwrap();
+        let ratio = ring as f64 / uly as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ring {ring} vs ulysses {uly}");
+    }
+
+    #[test]
+    fn ring_and_ulysses_converge_at_long_context() {
+        // At short context the two methods differ (Ulysses pays blocking
+        // all-to-alls, ring pays per-hop latency); once attention compute
+        // dominates, both approach the same attention-bound MFU and the
+        // gap shrinks toward zero.
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let ring = RingAttention::paper_baseline();
+        let uly = Ulysses::paper_baseline();
+        let short = TrainSetup::new(m.clone(), cluster.clone(), 32 * K);
+        let long = TrainSetup::new(m, cluster, 512 * K);
+        let gap_short = uly.estimate(&short).mfu - ring.estimate(&short).mfu;
+        let gap_long = uly.estimate(&long).mfu - ring.estimate(&long).mfu;
+        assert!(
+            gap_long.abs() < gap_short.abs(),
+            "gap shrinks: {gap_short} -> {gap_long}"
+        );
+    }
+
+    #[test]
+    fn mfu_in_sane_range() {
+        let m = ModelConfig::gpt_6_7b();
+        let cluster = ClusterSpec::a100_80g(1, 4);
+        let e = RingAttention::paper_baseline().estimate(&TrainSetup::new(m, cluster, 256 * K));
+        assert!((0.1..0.7).contains(&e.mfu), "mfu {}", e.mfu);
+    }
+}

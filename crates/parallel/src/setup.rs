@@ -1,0 +1,223 @@
+//! The strategy abstraction: setup, estimate, and max-context search.
+
+use fpdt_model::config::ModelConfig;
+use fpdt_model::{flops, mfu};
+use fpdt_sim::hw::ClusterSpec;
+
+/// Fixed framework overhead charged to every GPU: CUDA context, NCCL
+/// workspaces, cuBLAS handles, fragmentation floor (~2 GiB in practice).
+pub const FRAMEWORK_OVERHEAD_BYTES: u64 = 2 << 30;
+
+/// Allocator fragmentation multiplier applied to *activation* bytes when
+/// deciding whether a configuration fits (PyTorch's caching allocator
+/// reserves more than it allocates at long context).
+pub const FRAG_FACTOR: f64 = 1.2;
+
+/// Fixed per-step seconds of framework work that no strategy hides:
+/// optimizer step, gradient-norm reductions, host-side bookkeeping.
+pub const PER_STEP_FRAMEWORK_SECONDS: f64 = 0.25;
+
+/// A training configuration to estimate.
+#[derive(Debug, Clone)]
+pub struct TrainSetup {
+    /// The model being trained.
+    pub model: ModelConfig,
+    /// The hardware it runs on.
+    pub cluster: ClusterSpec,
+    /// Global sequence length in tokens.
+    pub seq_len: u64,
+    /// Micro-batch size (the paper fixes 1).
+    pub batch: u64,
+}
+
+impl TrainSetup {
+    /// Convenience constructor with batch 1.
+    pub fn new(model: ModelConfig, cluster: ClusterSpec, seq_len: u64) -> Self {
+        TrainSetup {
+            model,
+            cluster,
+            seq_len,
+            batch: 1,
+        }
+    }
+
+    /// Number of GPUs in the parallel group.
+    pub fn world(&self) -> usize {
+        self.cluster.total_gpus()
+    }
+
+    /// Model FLOPs of one step at this sequence length (MFU numerator).
+    pub fn model_flops(&self) -> f64 {
+        self.batch as f64 * flops::model_flops_per_step(&self.model, self.seq_len)
+    }
+
+    /// MFU for a given step time on this cluster.
+    pub fn mfu_for(&self, step_seconds: f64) -> f64 {
+        mfu::mfu(
+            &self.model,
+            self.seq_len,
+            step_seconds / self.batch as f64,
+            self.world(),
+            self.cluster.node.gpu.peak_flops,
+        )
+    }
+}
+
+/// What a strategy predicts for one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEstimate {
+    /// Wall-clock seconds per step.
+    pub step_time: f64,
+    /// Peak HBM bytes per GPU (allocated, before the fragmentation factor
+    /// used in the fit check).
+    pub peak_hbm: u64,
+    /// Host DRAM bytes per node consumed by offloading.
+    pub host_bytes_per_node: u64,
+    /// Model FLOPs utilization.
+    pub mfu: f64,
+    /// Whether the step fits device and host memory.
+    pub fits: bool,
+}
+
+impl StepEstimate {
+    /// Applies the fit check for `setup` to raw byte numbers and fills in
+    /// MFU, returning a complete estimate.
+    pub fn from_parts(
+        setup: &TrainSetup,
+        step_time: f64,
+        static_hbm: u64,
+        activation_hbm: u64,
+        host_bytes_per_node: u64,
+    ) -> Self {
+        let peak_hbm = static_hbm + activation_hbm + FRAMEWORK_OVERHEAD_BYTES;
+        let effective = static_hbm as f64
+            + activation_hbm as f64 * FRAG_FACTOR
+            + FRAMEWORK_OVERHEAD_BYTES as f64;
+        let fits = effective <= setup.cluster.node.gpu.hbm_bytes as f64
+            && host_bytes_per_node <= setup.cluster.node.host_mem_bytes;
+        StepEstimate {
+            step_time,
+            peak_hbm,
+            host_bytes_per_node,
+            mfu: setup.mfu_for(step_time),
+            fits,
+        }
+    }
+}
+
+/// A long-context training strategy that can be estimated analytically.
+pub trait Strategy {
+    /// Human-readable name (used in benchmark tables).
+    fn name(&self) -> String;
+
+    /// Predicts one training step of `setup`.
+    fn estimate(&self, setup: &TrainSetup) -> StepEstimate;
+}
+
+/// The sequence-length ladder the paper reports on (32K ... 8M).
+pub fn seq_ladder() -> Vec<u64> {
+    const K: u64 = 1024;
+    vec![
+        32 * K,
+        64 * K,
+        128 * K,
+        256 * K,
+        512 * K,
+        1024 * K,
+        2048 * K,
+        3072 * K,
+        4096 * K,
+        6144 * K,
+        8192 * K,
+    ]
+}
+
+/// Longest ladder rung that fits under `strategy`, or `None` when even the
+/// shortest does not (the paper's `-` cells).
+pub fn max_seq_len<S: Strategy + ?Sized>(
+    strategy: &S,
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+) -> Option<u64> {
+    let mut best = None;
+    for s in seq_ladder() {
+        let setup = TrainSetup::new(model.clone(), cluster.clone(), s);
+        if strategy.estimate(&setup).fits {
+            best = Some(s);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        cap: u64,
+    }
+    impl Strategy for Fake {
+        fn name(&self) -> String {
+            "fake".into()
+        }
+        fn estimate(&self, setup: &TrainSetup) -> StepEstimate {
+            StepEstimate {
+                step_time: 1.0,
+                peak_hbm: setup.seq_len,
+                host_bytes_per_node: 0,
+                mfu: 0.5,
+                fits: setup.seq_len <= self.cap,
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_spans_paper_range() {
+        let l = seq_ladder();
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*l.first().unwrap(), 32 * 1024);
+        assert_eq!(*l.last().unwrap(), 8 * 1024 * 1024);
+        assert!(l.contains(&(3 * 1024 * 1024)), "Table 1 has 3M cells");
+    }
+
+    #[test]
+    fn max_seq_picks_last_fitting_rung() {
+        let model = ModelConfig::tiny(2, 64, 4, 100);
+        let cluster = ClusterSpec::a100_80g(1, 4);
+        assert_eq!(
+            max_seq_len(&Fake { cap: 600_000 }, &model, &cluster),
+            Some(512 * 1024)
+        );
+        assert_eq!(max_seq_len(&Fake { cap: 0 }, &model, &cluster), None);
+        assert_eq!(
+            max_seq_len(&Fake { cap: u64::MAX }, &model, &cluster),
+            Some(8 * 1024 * 1024)
+        );
+    }
+
+    #[test]
+    fn from_parts_applies_overhead_and_frag() {
+        let setup = TrainSetup::new(
+            ModelConfig::tiny(2, 64, 4, 100),
+            ClusterSpec::a100_80g(1, 4),
+            32 * 1024,
+        );
+        let hbm = setup.cluster.node.gpu.hbm_bytes;
+        // activations that fit raw but not after fragmentation
+        let act = ((hbm - FRAMEWORK_OVERHEAD_BYTES) as f64 / FRAG_FACTOR) as u64 + (1 << 20);
+        let e = StepEstimate::from_parts(&setup, 1.0, 0, act, 0);
+        assert!(!e.fits);
+        let e = StepEstimate::from_parts(&setup, 1.0, 0, act / 2, 0);
+        assert!(e.fits);
+        // host overflow also fails
+        let e = StepEstimate::from_parts(&setup, 1.0, 0, 0, u64::MAX);
+        assert!(!e.fits);
+    }
+
+    #[test]
+    fn mfu_for_uses_cluster_peak() {
+        let setup = TrainSetup::new(ModelConfig::gpt_2_7b(), ClusterSpec::a100_80g(1, 4), 65_536);
+        let ideal = setup.model_flops() / (4.0 * 312e12);
+        assert!((setup.mfu_for(ideal) - 1.0).abs() < 1e-9);
+    }
+}

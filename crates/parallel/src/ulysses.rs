@@ -1,0 +1,243 @@
+//! DeepSpeed Ulysses (Jacobs et al., 2023): shard the sequence, all-to-all
+//! per layer to scatter heads and gather sequence, compute attention on
+//! full context with local heads, all-to-all back. Composes with the ZeRO
+//! family (paper §3.2) — the strongest baseline in the paper and the
+//! substrate FPDT builds on.
+
+use crate::setup::{StepEstimate, Strategy, TrainSetup};
+use crate::zero::ZeroStage;
+use fpdt_model::flops;
+use fpdt_model::memory::{loss_spike_bytes, static_bytes, BlockActivations, BF16};
+use fpdt_sim::cost::CostModel;
+
+/// Configuration of the Ulysses baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ulysses {
+    /// Which ZeRO stage shards the model state.
+    pub zero: ZeroStage,
+    /// Re-compute block activations in backward instead of saving them.
+    pub activation_checkpoint: bool,
+    /// Move checkpoints to host memory (DeepSpeed's "OC").
+    pub offload_checkpoint: bool,
+    /// Loss-head tiling factor the harness applies (1 = monolithic
+    /// logits; real stacks tile mildly, the paper's FPDT tiles by
+    /// `vocab/hidden*2`).
+    pub loss_chunks: u64,
+}
+
+impl Ulysses {
+    /// The configuration used as "Ulysses" in Figure 11: ZeRO-3,
+    /// activation checkpointing with CPU offload, mild loss tiling.
+    pub fn paper_baseline() -> Self {
+        Ulysses {
+            zero: ZeroStage::Three,
+            activation_checkpoint: true,
+            offload_checkpoint: true,
+            loss_chunks: 4,
+        }
+    }
+}
+
+impl Default for Ulysses {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Shared compute-time helper: dense + attention kernel seconds per GPU
+/// for one step (used by Ulysses, Ring and FPDT, which all shard the
+/// sequence evenly).
+pub(crate) fn sharded_compute_seconds(
+    setup: &TrainSetup,
+    cost: &CostModel,
+    recompute: bool,
+) -> f64 {
+    let p = setup.world() as u64;
+    let m = &setup.model;
+    let s = setup.seq_len * setup.batch;
+    let dense_total = flops::model_flops_per_step(m, setup.seq_len) * setup.batch as f64
+        - 3.5 * flops::attention_core_fwd_flops(m, setup.seq_len) * setup.batch as f64;
+    let attn_fwd = flops::attention_core_fwd_flops(m, setup.seq_len) * setup.batch as f64;
+    let recompute_mult = if recompute { 1.0 } else { 0.0 };
+    // dense: fwd+bwd(2x) (+1 recompute fwd) ; dense_total already = 3x fwd
+    let dense = dense_total / 3.0 * (3.0 + recompute_mult);
+    let attn = attn_fwd * (3.5 + recompute_mult);
+    let _ = s;
+    cost.gemm_time(dense / p as f64)
+        + cost.attention_time(attn / p as f64)
+        + m.layers as f64 * 4.0 * cost.cluster().node.gpu.kernel_overhead
+}
+
+impl Strategy for Ulysses {
+    fn name(&self) -> String {
+        let mut n = format!(
+            "Ulysses+ZeRO-{}",
+            match self.zero {
+                ZeroStage::None => "0",
+                ZeroStage::One => "1",
+                ZeroStage::Two => "2",
+                ZeroStage::Three => "3",
+            }
+        );
+        if self.activation_checkpoint {
+            n.push_str("+AC");
+        }
+        if self.offload_checkpoint {
+            n.push_str("+OC");
+        }
+        n
+    }
+
+    fn estimate(&self, setup: &TrainSetup) -> StepEstimate {
+        let p = setup.world();
+        let cost = CostModel::new(setup.cluster.clone());
+        let m = &setup.model;
+        let s_local = (setup.seq_len * setup.batch).div_ceil(p as u64);
+        let act = BlockActivations::new(m, s_local);
+        let unit = BF16 * s_local * m.hidden as u64;
+
+        // --- time ---
+        let compute = sharded_compute_seconds(setup, &cost, self.activation_checkpoint);
+        // Blocking all-to-alls per layer: fused qkv (3 units, GQA-scaled)
+        // + attention output, forward and backward, plus the recompute
+        // pass under activation checkpointing.
+        let qkv_bytes = act.offload_host_bytes_per_layer(); // == qkv_coeff units
+        let a2a_once = cost.all_to_all_time(qkv_bytes, p) + cost.all_to_all_time(unit, p);
+        let passes = if self.activation_checkpoint { 3.0 } else { 2.0 };
+        let a2a_total = m.layers as f64 * a2a_once * passes;
+        // ZeRO parameter/gradient traffic: per-layer gathers serialize with
+        // per-layer compute in practice at batch 1, so charge it blocking.
+        let zero_comm = self.zero.comm_seconds(m, &cost, p);
+        // Checkpoint offload rides PCIe; only the excess over compute bites.
+        let oc_seconds = if self.offload_checkpoint {
+            2.0 * m.layers as f64 * cost.h2d_time(unit, setup.cluster.node.gpus)
+        } else {
+            0.0
+        };
+        let step_time = compute.max(oc_seconds)
+            + zero_comm
+            + a2a_total
+            + crate::setup::PER_STEP_FRAMEWORK_SECONDS;
+
+        // --- memory ---
+        let static_hbm =
+            static_bytes(m, self.zero.shard_spec(p)) + self.zero.live_param_overhead(m);
+        let saved = if self.activation_checkpoint {
+            if self.offload_checkpoint {
+                2 * unit // double-buffered staging on device
+            } else {
+                m.layers as u64 * unit
+            }
+        } else {
+            m.layers as u64 * act.saved_per_layer()
+        };
+        let working_set = act.bwd_monolithic();
+        let loss = loss_spike_bytes(s_local, m.vocab as u64, self.loss_chunks);
+        let activation_hbm = saved + working_set + loss;
+        let host = if self.offload_checkpoint {
+            m.layers as u64 * unit * setup.cluster.node.gpus as u64
+        } else {
+            0
+        };
+        StepEstimate::from_parts(setup, step_time, static_hbm, activation_hbm, host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::max_seq_len;
+    use fpdt_model::config::ModelConfig;
+    use fpdt_sim::hw::ClusterSpec;
+
+    const K: u64 = 1024;
+
+    #[test]
+    fn table3_ulysses_zero_rows_cap_at_64k_without_ac() {
+        // Table 3: UL + ZeRO-1/2/3 (no AC) max out at 64K on 8 GPUs.
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        for zero in [ZeroStage::One, ZeroStage::Two, ZeroStage::Three] {
+            let s = Ulysses {
+                zero,
+                activation_checkpoint: false,
+                offload_checkpoint: false,
+                loss_chunks: 4,
+            };
+            let got = max_seq_len(&s, &m, &cluster).unwrap();
+            assert!(
+                (32 * K..=128 * K).contains(&got),
+                "{}: {}K",
+                s.name(),
+                got / K
+            );
+        }
+    }
+
+    #[test]
+    fn table3_ac_oc_extends_to_half_million() {
+        // Table 3: UL + AC + OC + ZeRO reaches 512K.
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let s = Ulysses::paper_baseline();
+        let got = max_seq_len(&s, &m, &cluster).unwrap();
+        assert!((256 * K..=1024 * K).contains(&got), "got {}K", got / K);
+    }
+
+    #[test]
+    fn zero3_beats_zero1_memory_at_same_seq() {
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let setup = TrainSetup::new(m, cluster, 64 * K);
+        let base = Ulysses {
+            zero: ZeroStage::One,
+            activation_checkpoint: false,
+            offload_checkpoint: false,
+            loss_chunks: 4,
+        };
+        let e1 = base.estimate(&setup);
+        let e3 = Ulysses {
+            zero: ZeroStage::Three,
+            ..base
+        }
+        .estimate(&setup);
+        assert!(e3.peak_hbm < e1.peak_hbm);
+        // Table 3 magnitude check: ZeRO-1 row measured 58.9G.
+        let gib = e1.peak_hbm as f64 / (1u64 << 30) as f64;
+        assert!((40.0..75.0).contains(&gib), "{gib} GiB");
+    }
+
+    #[test]
+    fn mfu_rises_with_sequence_length() {
+        // Short sequences are communication-bound; long ones are
+        // attention-bound (paper Figure 11's rising curves).
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let s = Ulysses::paper_baseline();
+        let short = s.estimate(&TrainSetup::new(m.clone(), cluster.clone(), 64 * K));
+        let long = s.estimate(&TrainSetup::new(m, cluster, 512 * K));
+        assert!(long.mfu > short.mfu, "{} vs {}", long.mfu, short.mfu);
+        assert!((0.25..0.62).contains(&long.mfu), "long mfu {}", long.mfu);
+    }
+
+    #[test]
+    fn offload_uses_host_memory() {
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let setup = TrainSetup::new(m, cluster, 256 * K);
+        let e = Ulysses::paper_baseline().estimate(&setup);
+        assert!(e.host_bytes_per_node > 0);
+        let e2 = Ulysses {
+            offload_checkpoint: false,
+            ..Ulysses::paper_baseline()
+        }
+        .estimate(&setup);
+        assert_eq!(e2.host_bytes_per_node, 0);
+        assert!(e2.peak_hbm > e.peak_hbm);
+    }
+
+    #[test]
+    fn name_reflects_options() {
+        assert_eq!(Ulysses::paper_baseline().name(), "Ulysses+ZeRO-3+AC+OC");
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task references an id the engine has not issued.
+    UnknownId {
+        /// Which kind of id ("task", "stream", "resource", "pool").
+        kind: &'static str,
+        /// The offending index.
+        id: usize,
+    },
+    /// The dependency graph contains a cycle; the run cannot complete.
+    DependencyCycle {
+        /// Number of tasks left unscheduled when progress stopped.
+        stuck: usize,
+    },
+    /// A task freed more bytes from a pool than were allocated.
+    NegativeUsage {
+        /// Pool name.
+        pool: String,
+        /// Simulation time of the violation.
+        at: f64,
+    },
+    /// A configuration value is invalid (e.g. zero bandwidth).
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownId { kind, id } => write!(f, "unknown {kind} id {id}"),
+            SimError::DependencyCycle { stuck } => {
+                write!(f, "dependency cycle: {stuck} tasks never became ready")
+            }
+            SimError::NegativeUsage { pool, at } => {
+                write!(f, "pool {pool} usage went negative at t={at:.6}s")
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SimError::UnknownId {
+                kind: "task",
+                id: 3,
+            },
+            SimError::DependencyCycle { stuck: 2 },
+            SimError::NegativeUsage {
+                pool: "hbm0".into(),
+                at: 1.5,
+            },
+            SimError::InvalidConfig {
+                what: "zero bandwidth".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

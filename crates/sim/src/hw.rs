@@ -1,0 +1,171 @@
+//! Hardware specifications, calibrated to the paper's testbed (§5.1):
+//! nodes of four A100-80G GPUs on 3rd-gen NVLink, PCIe Gen-4 x16 to host
+//! (32 GB/s unidirectional, shared), 1 TB host memory, and 200 Gbps HDR
+//! InfiniBand between nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU's compute and memory capabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100-80G"`.
+    pub name: String,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+    /// Peak dense bf16 throughput in FLOP/s (A100: 312e12).
+    pub peak_flops: f64,
+    /// Achievable fraction of peak for large GEMMs.
+    pub gemm_efficiency: f64,
+    /// Achievable fraction of peak for fused attention kernels.
+    pub attention_efficiency: f64,
+    /// Fixed kernel launch + scheduling overhead per kernel, seconds.
+    pub kernel_overhead: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 with the given HBM size in GiB (40 or 80 in the paper).
+    pub fn a100(hbm_gib: u64) -> Self {
+        GpuSpec {
+            name: format!("A100-{hbm_gib}G"),
+            hbm_bytes: hbm_gib * (1 << 30),
+            peak_flops: 312e12,
+            gemm_efficiency: 0.68,
+            attention_efficiency: 0.58,
+            kernel_overhead: 8e-6,
+        }
+    }
+
+    /// Effective GEMM throughput in FLOP/s.
+    pub fn gemm_flops(&self) -> f64 {
+        self.peak_flops * self.gemm_efficiency
+    }
+
+    /// Effective attention-kernel throughput in FLOP/s.
+    pub fn attention_flops(&self) -> f64 {
+        self.peak_flops * self.attention_efficiency
+    }
+}
+
+/// One multi-GPU host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// GPUs per node.
+    pub gpus: usize,
+    /// The GPU model installed.
+    pub gpu: GpuSpec,
+    /// Per-GPU NVLink peer bandwidth, bytes/s (paper: "more than
+    /// 100 GB/s of peer-to-peer bandwidth").
+    pub nvlink_bw: f64,
+    /// Host↔device PCIe bandwidth per direction, bytes/s, **shared by all
+    /// GPUs in the node** (paper: PCIe Gen-4 x16, 32 GB/s unidirectional).
+    pub pcie_bw: f64,
+    /// Host DRAM capacity in bytes (paper: 1 TB).
+    pub host_mem_bytes: u64,
+    /// Per-message link latency in seconds (applies to every transfer).
+    pub link_latency: f64,
+}
+
+impl NodeSpec {
+    /// The paper's node: 4x A100 (40 or 80 GiB), NVLink-3, PCIe Gen-4,
+    /// 1 TB host memory.
+    pub fn dgx_a100(hbm_gib: u64, gpus: usize) -> Self {
+        NodeSpec {
+            gpus,
+            gpu: GpuSpec::a100(hbm_gib),
+            nvlink_bw: 150e9,
+            pcie_bw: 32e9,
+            host_mem_bytes: 1 << 40,
+            link_latency: 15e-6,
+        }
+    }
+}
+
+/// A cluster of identical nodes joined by InfiniBand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Node description.
+    pub node: NodeSpec,
+    /// Node count.
+    pub nodes: usize,
+    /// Per-GPU InfiniBand bandwidth, bytes/s (paper: 200 Gbps HDR =
+    /// 25 GB/s; DGX-style nodes provision one HCA rail per GPU).
+    pub ib_bw: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's cluster: `nodes` x (4x A100-80G) with HDR InfiniBand.
+    pub fn a100_80g(nodes: usize, gpus_per_node: usize) -> Self {
+        ClusterSpec {
+            node: NodeSpec::dgx_a100(80, gpus_per_node),
+            nodes,
+            ib_bw: 25e9,
+        }
+    }
+
+    /// Same topology with 40 GiB GPUs (Table 1's left half).
+    pub fn a100_40g(nodes: usize, gpus_per_node: usize) -> Self {
+        ClusterSpec {
+            node: NodeSpec::dgx_a100(40, gpus_per_node),
+            nodes,
+            ib_bw: 25e9,
+        }
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.node.gpus
+    }
+
+    /// Aggregate peak FLOP/s across the cluster (the MFU denominator).
+    pub fn peak_flops(&self) -> f64 {
+        self.total_gpus() as f64 * self.node.gpu.peak_flops
+    }
+
+    /// True when a communicator group of `group` GPUs (filled node by
+    /// node) crosses node boundaries.
+    pub fn spans_nodes(&self, group: usize) -> bool {
+        group > self.node.gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_presets() {
+        let g40 = GpuSpec::a100(40);
+        let g80 = GpuSpec::a100(80);
+        assert_eq!(g40.hbm_bytes, 40 * (1 << 30));
+        assert_eq!(g80.hbm_bytes, 2 * g40.hbm_bytes);
+        assert_eq!(g80.peak_flops, 312e12);
+        assert!(g80.gemm_flops() < g80.peak_flops);
+        assert!(g80.attention_flops() < g80.gemm_flops());
+    }
+
+    #[test]
+    fn cluster_accounting() {
+        let c = ClusterSpec::a100_80g(8, 4);
+        assert_eq!(c.total_gpus(), 32);
+        assert_eq!(c.peak_flops(), 32.0 * 312e12);
+        assert!(!c.spans_nodes(4));
+        assert!(c.spans_nodes(8));
+    }
+
+    #[test]
+    fn paper_testbed_constants() {
+        let n = NodeSpec::dgx_a100(80, 4);
+        assert_eq!(n.pcie_bw, 32e9, "PCIe Gen-4 x16 unidirectional");
+        assert_eq!(n.host_mem_bytes, 1 << 40, "1 TB host memory");
+        assert!(n.nvlink_bw > 100e9, "NVLink >100 GB/s p2p");
+        let c = ClusterSpec::a100_80g(2, 4);
+        assert_eq!(c.ib_bw, 25e9, "200 Gbps HDR");
+    }
+
+    #[test]
+    fn specs_are_cloneable_and_comparable() {
+        let c = ClusterSpec::a100_40g(1, 4);
+        assert_eq!(c.clone(), c);
+        assert_ne!(ClusterSpec::a100_80g(1, 4), c);
+    }
+}

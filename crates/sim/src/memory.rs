@@ -1,0 +1,297 @@
+//! Memory pools: byte-exact allocation tracking with timelines.
+//!
+//! Each simulated device gets an HBM pool (and each node a host-DRAM
+//! pool); schedule tasks allocate/free against them. Peaks answer "does
+//! this configuration fit?" (Table 1, Table 3) and timelines draw the
+//! backward-pass footprint of paper Figure 13.
+
+use crate::{Result, SimError};
+
+/// Identifies a pool within a [`PoolSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(pub(crate) usize);
+
+/// One allocation or free, timestamped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Signed byte delta (positive = alloc).
+    pub delta: i64,
+    /// Label of the allocation ("kv_chunk", "ffn_act", ...). Frees carry
+    /// an empty label.
+    pub label: String,
+    /// Pool usage immediately after this event.
+    pub usage: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Pool {
+    name: String,
+    capacity: Option<u64>,
+    current: u64,
+    peak: u64,
+    timeline: Vec<TimelineEvent>,
+}
+
+/// A set of named memory pools.
+#[derive(Debug, Clone, Default)]
+pub struct PoolSet {
+    pools: Vec<Pool>,
+}
+
+impl PoolSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pool. `capacity` is advisory: exceeding it is *recorded*
+    /// (so planners can detect OOM) rather than an error — matching how
+    /// the paper reports "OOM" as an experimental outcome.
+    pub fn add_pool(&mut self, name: &str, capacity: Option<u64>) -> PoolId {
+        self.pools.push(Pool {
+            name: name.to_string(),
+            capacity,
+            ..Pool::default()
+        });
+        PoolId(self.pools.len() - 1)
+    }
+
+    /// Whether `id` belongs to this set.
+    pub fn contains(&self, id: PoolId) -> bool {
+        id.0 < self.pools.len()
+    }
+
+    /// A copy with identical pool definitions but zeroed usage/timelines.
+    pub fn clone_reset(&self) -> Self {
+        PoolSet {
+            pools: self
+                .pools
+                .iter()
+                .map(|p| Pool {
+                    name: p.name.clone(),
+                    capacity: p.capacity,
+                    ..Pool::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Records an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn alloc(&mut self, id: PoolId, bytes: u64, label: &str, time: f64) -> Result<()> {
+        let p = self.pools.get_mut(id.0).ok_or(SimError::UnknownId {
+            kind: "pool",
+            id: id.0,
+        })?;
+        p.current += bytes;
+        p.peak = p.peak.max(p.current);
+        p.timeline.push(TimelineEvent {
+            time,
+            delta: bytes as i64,
+            label: label.to_string(),
+            usage: p.current,
+        });
+        Ok(())
+    }
+
+    /// Records a free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id and
+    /// [`SimError::NegativeUsage`] when more bytes are freed than live.
+    pub fn free(&mut self, id: PoolId, bytes: u64, time: f64) -> Result<()> {
+        let p = self.pools.get_mut(id.0).ok_or(SimError::UnknownId {
+            kind: "pool",
+            id: id.0,
+        })?;
+        if bytes > p.current {
+            return Err(SimError::NegativeUsage {
+                pool: p.name.clone(),
+                at: time,
+            });
+        }
+        p.current -= bytes;
+        p.timeline.push(TimelineEvent {
+            time,
+            delta: -(bytes as i64),
+            label: String::new(),
+            usage: p.current,
+        });
+        Ok(())
+    }
+
+    /// Peak usage of a pool in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn peak(&self, id: PoolId) -> Result<u64> {
+        self.pools
+            .get(id.0)
+            .map(|p| p.peak)
+            .ok_or(SimError::UnknownId {
+                kind: "pool",
+                id: id.0,
+            })
+    }
+
+    /// Current (end-of-run) usage of a pool in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn current(&self, id: PoolId) -> Result<u64> {
+        self.pools
+            .get(id.0)
+            .map(|p| p.current)
+            .ok_or(SimError::UnknownId {
+                kind: "pool",
+                id: id.0,
+            })
+    }
+
+    /// Whether the recorded peak exceeded the pool's capacity (OOM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn oom(&self, id: PoolId) -> Result<bool> {
+        self.pools
+            .get(id.0)
+            .map(|p| p.capacity.is_some_and(|c| p.peak > c))
+            .ok_or(SimError::UnknownId {
+                kind: "pool",
+                id: id.0,
+            })
+    }
+
+    /// Full event timeline of a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn timeline(&self, id: PoolId) -> Result<&[TimelineEvent]> {
+        self.pools
+            .get(id.0)
+            .map(|p| p.timeline.as_slice())
+            .ok_or(SimError::UnknownId {
+                kind: "pool",
+                id: id.0,
+            })
+    }
+
+    /// Usage sampled at `n` evenly spaced instants across `[0, horizon]` —
+    /// the series the Figure-13 plot prints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownId`] for a bad pool id.
+    pub fn sampled(&self, id: PoolId, horizon: f64, n: usize) -> Result<Vec<(f64, u64)>> {
+        let tl = self.timeline(id)?;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        let mut usage = 0u64;
+        for i in 0..n {
+            let t = if n > 1 {
+                horizon * i as f64 / (n - 1) as f64
+            } else {
+                horizon
+            };
+            while idx < tl.len() && tl[idx].time <= t {
+                usage = tl[idx].usage;
+                idx += 1;
+            }
+            out.push((t, usage));
+        }
+        Ok(out)
+    }
+
+    /// Pool name for diagnostics.
+    pub fn name(&self, id: PoolId) -> Option<&str> {
+        self.pools.get(id.0).map(|p| p.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut ps = PoolSet::new();
+        let p = ps.add_pool("hbm", Some(100));
+        ps.alloc(p, 40, "a", 0.0).unwrap();
+        ps.alloc(p, 50, "b", 1.0).unwrap();
+        ps.free(p, 40, 2.0).unwrap();
+        ps.alloc(p, 10, "c", 3.0).unwrap();
+        assert_eq!(ps.peak(p).unwrap(), 90);
+        assert_eq!(ps.current(p).unwrap(), 60);
+        assert!(!ps.oom(p).unwrap());
+    }
+
+    #[test]
+    fn oom_flag_when_over_capacity() {
+        let mut ps = PoolSet::new();
+        let p = ps.add_pool("hbm", Some(50));
+        ps.alloc(p, 60, "too big", 0.0).unwrap();
+        assert!(ps.oom(p).unwrap());
+        // unbounded pool never OOMs
+        let q = ps.add_pool("host", None);
+        ps.alloc(q, u64::MAX / 2, "huge", 0.0).unwrap();
+        assert!(!ps.oom(q).unwrap());
+    }
+
+    #[test]
+    fn negative_usage_is_an_error() {
+        let mut ps = PoolSet::new();
+        let p = ps.add_pool("hbm", None);
+        ps.alloc(p, 10, "x", 0.0).unwrap();
+        assert!(matches!(
+            ps.free(p, 11, 1.0),
+            Err(SimError::NegativeUsage { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_errors() {
+        let mut ps = PoolSet::new();
+        assert!(!ps.contains(PoolId(0)));
+        assert!(ps.alloc(PoolId(0), 1, "x", 0.0).is_err());
+        assert!(ps.peak(PoolId(0)).is_err());
+        assert!(ps.timeline(PoolId(0)).is_err());
+        assert_eq!(ps.name(PoolId(0)), None);
+    }
+
+    #[test]
+    fn timeline_and_sampling() {
+        let mut ps = PoolSet::new();
+        let p = ps.add_pool("hbm", None);
+        ps.alloc(p, 100, "a", 1.0).unwrap();
+        ps.free(p, 100, 3.0).unwrap();
+        let tl = ps.timeline(p).unwrap();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].usage, 100);
+        assert_eq!(tl[1].usage, 0);
+        let samples = ps.sampled(p, 4.0, 5).unwrap(); // t = 0,1,2,3,4
+        assert_eq!(
+            samples.iter().map(|&(_, u)| u).collect::<Vec<_>>(),
+            vec![0, 100, 100, 0, 0]
+        );
+    }
+
+    #[test]
+    fn clone_reset_keeps_definitions() {
+        let mut ps = PoolSet::new();
+        let p = ps.add_pool("hbm", Some(10));
+        ps.alloc(p, 5, "x", 0.0).unwrap();
+        let fresh = ps.clone_reset();
+        assert_eq!(fresh.peak(p).unwrap(), 0);
+        assert_eq!(fresh.name(p), Some("hbm"));
+    }
+}

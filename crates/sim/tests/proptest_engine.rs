@@ -1,0 +1,103 @@
+//! Property-based tests of the discrete-event engine: conservation and
+//! ordering laws that must hold for arbitrary task graphs.
+
+use fpdt_sim::engine::{Engine, Work};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serial_chain_time_is_additive(
+        durations in proptest::collection::vec(0.001f64..2.0, 1..12),
+    ) {
+        let mut e = Engine::new();
+        let s = e.add_stream("chain");
+        for (i, &d) in durations.iter().enumerate() {
+            e.add_task(&format!("t{i}"), s, Work::Compute { seconds: d }).unwrap();
+        }
+        let r = e.run().unwrap();
+        let total: f64 = durations.iter().sum();
+        prop_assert!((r.makespan - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_streams_take_the_max(
+        durations in proptest::collection::vec(0.001f64..2.0, 1..8),
+    ) {
+        let mut e = Engine::new();
+        for (i, &d) in durations.iter().enumerate() {
+            let s = e.add_stream(&format!("s{i}"));
+            e.add_task(&format!("t{i}"), s, Work::Compute { seconds: d }).unwrap();
+        }
+        let r = e.run().unwrap();
+        let max = durations.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!((r.makespan - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_bandwidth_conserves_total_bytes(
+        sizes in proptest::collection::vec(1u64..10_000, 1..8),
+    ) {
+        // N concurrent transfers on one pipe finish no earlier than
+        // total_bytes / bandwidth, and the LAST finisher hits it exactly
+        // (work conservation under processor sharing).
+        let bw = 1000.0;
+        let mut e = Engine::new();
+        let pipe = e.add_resource("pipe", bw, 0.0);
+        for (i, &b) in sizes.iter().enumerate() {
+            let s = e.add_stream(&format!("s{i}"));
+            e.add_task(&format!("x{i}"), s, Work::Transfer { bytes: b, resource: pipe })
+                .unwrap();
+        }
+        let r = e.run().unwrap();
+        let total: u64 = sizes.iter().sum();
+        let ideal = total as f64 / bw;
+        prop_assert!((r.makespan - ideal).abs() < 1e-6 * ideal.max(1.0),
+            "makespan {} vs ideal {}", r.makespan, ideal);
+    }
+
+    #[test]
+    fn dependencies_are_respected(
+        chain in proptest::collection::vec(0.01f64..1.0, 2..8),
+    ) {
+        // A dependency chain across separate streams behaves like a
+        // serial chain.
+        let mut e = Engine::new();
+        let mut prev = None;
+        for (i, &d) in chain.iter().enumerate() {
+            let s = e.add_stream(&format!("s{i}"));
+            let mut b = e.task(&format!("t{i}"), s, Work::Compute { seconds: d });
+            if let Some(p) = prev {
+                b.deps(&[p]);
+            }
+            prev = Some(b.submit().unwrap());
+        }
+        let r = e.run().unwrap();
+        let total: f64 = chain.iter().sum();
+        prop_assert!((r.makespan - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_peak_bounds_current(
+        allocs in proptest::collection::vec(1u64..1000, 1..10),
+    ) {
+        let mut e = Engine::new();
+        let s = e.add_stream("c");
+        let pool = e.add_pool("hbm", None);
+        for (i, &a) in allocs.iter().enumerate() {
+            let mut b = e.task(&format!("t{i}"), s, Work::Compute { seconds: 0.1 });
+            b.alloc(pool, a, "x");
+            if i % 2 == 1 {
+                b.free(pool, a);
+            }
+            b.submit().unwrap();
+        }
+        let r = e.run().unwrap();
+        let peak = r.pools.peak(pool).unwrap();
+        let end = r.pools.current(pool).unwrap();
+        prop_assert!(peak >= end);
+        let total: u64 = allocs.iter().sum();
+        prop_assert!(peak <= total);
+    }
+}

@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor construction and shape-checked operations.
+///
+/// Every fallible public function in this crate returns
+/// [`TensorError`](crate::TensorError) so callers can report exactly which
+/// shape contract was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// An axis index is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        ndim: usize,
+    },
+    /// A split/narrow request does not evenly divide or exceeds the axis.
+    InvalidSlice {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// A rank other than the one required by the operation was supplied.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape product {expected}"
+                )
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {axis} out of range for rank-{ndim} tensor")
+            }
+            TensorError::InvalidSlice { what } => write!(f, "invalid slice: {what}"),
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op} requires rank-{expected} tensor, got rank {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![2, 3],
+            },
+            TensorError::AxisOutOfRange { axis: 5, ndim: 2 },
+            TensorError::InvalidSlice {
+                what: "start 3 past end".into(),
+            },
+            TensorError::RankMismatch {
+                op: "layernorm",
+                expected: 2,
+                actual: 1,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

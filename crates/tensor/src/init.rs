@@ -1,0 +1,97 @@
+//! Reproducible random initialization helpers.
+//!
+//! All experiments in the reproduction seed their RNGs explicitly so the
+//! loss-curve comparisons (paper Figure 14) are deterministic across runs.
+
+use crate::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a [`SmallRng`] from a `u64` seed.
+///
+/// ```
+/// let mut rng = fpdt_tensor::init::seeded_rng(42);
+/// let t = fpdt_tensor::init::randn(&mut rng, &[4, 4], 0.02);
+/// assert_eq!(t.shape(), &[4, 4]);
+/// ```
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Samples a tensor with i.i.d. normal entries of the given standard
+/// deviation (Box-Muller over the crate RNG; mean 0).
+pub fn randn(rng: &mut SmallRng, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box-Muller transform: two uniforms -> two normals.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape).expect("length matches by construction")
+}
+
+/// Samples a tensor with i.i.d. uniform entries in `[lo, hi)`.
+pub fn uniform(rng: &mut SmallRng, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape).expect("length matches by construction")
+}
+
+/// Xavier/Glorot-scaled normal init for a `[fan_in, fan_out]` weight.
+pub fn xavier(rng: &mut SmallRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    randn(rng, &[fan_in, fan_out], std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = randn(&mut seeded_rng(7), &[16], 1.0);
+        let b = randn(&mut seeded_rng(7), &[16], 1.0);
+        let c = randn(&mut seeded_rng(8), &[16], 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_statistics_are_plausible() {
+        let t = randn(&mut seeded_rng(1), &[10_000], 2.0);
+        let mean = t.mean();
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / (t.numel() - 1) as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn randn_odd_length() {
+        assert_eq!(randn(&mut seeded_rng(3), &[7], 1.0).numel(), 7);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&mut seeded_rng(2), &[1000], -0.5, 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_std_shrinks_with_fan() {
+        let wide = xavier(&mut seeded_rng(4), 1024, 1024);
+        let narrow = xavier(&mut seeded_rng(4), 4, 4);
+        assert!(wide.max_abs() < narrow.max_abs());
+    }
+}

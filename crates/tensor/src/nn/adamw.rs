@@ -1,0 +1,226 @@
+use std::collections::HashMap;
+
+/// Hyper-parameters for [`AdamW`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamWConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        AdamWConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Decoupled-weight-decay Adam operating on raw parameter slices.
+///
+/// The optimizer keys its `(m, v)` moments by an integer *parameter id* the
+/// caller assigns. This makes ZeRO-style sharding trivial: a rank that owns
+/// only elements `lo..hi` of a flat parameter registers the id once and
+/// passes just its shard — the optimizer never sees (or allocates state
+/// for) the rest, which is exactly the paper's "optimizer states are
+/// partitioned" memory saving, realized for real in the runtime.
+///
+/// # Example
+///
+/// ```
+/// use fpdt_tensor::nn::{AdamW, AdamWConfig};
+///
+/// let mut opt = AdamW::new(AdamWConfig { lr: 0.1, ..Default::default() });
+/// let mut w = vec![1.0_f32, -1.0];
+/// let g = vec![1.0_f32, -1.0];
+/// for _ in 0..10 {
+///     opt.begin_step();
+///     opt.update(0, &mut w, &g);
+/// }
+/// assert!(w[0] < 1.0 && w[1] > -1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    cfg: AdamWConfig,
+    step: u64,
+    moments: HashMap<u64, (Vec<f32>, Vec<f32>)>,
+}
+
+impl AdamW {
+    /// Creates an optimizer with the given hyper-parameters.
+    pub fn new(cfg: AdamWConfig) -> Self {
+        AdamW {
+            cfg,
+            step: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Current hyper-parameters.
+    pub fn config(&self) -> AdamWConfig {
+        self.cfg
+    }
+
+    /// Sets the learning rate (e.g. for warmup schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Bytes of optimizer state currently held (f32 moments).
+    pub fn state_bytes(&self) -> usize {
+        self.moments
+            .values()
+            .map(|(m, v)| (m.len() + v.len()) * 4)
+            .sum()
+    }
+
+    /// Advances the shared step counter. Call once per training step,
+    /// before the per-parameter [`AdamW::update`] calls.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Applies one AdamW update to `param` given `grad`, using the moment
+    /// buffers registered under `param_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` lengths differ, or if `param_id` was
+    /// previously used with a different length (both indicate caller bugs,
+    /// not recoverable conditions).
+    pub fn update(&mut self, param_id: u64, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        assert!(self.step > 0, "call begin_step before update");
+        let (m, v) = self
+            .moments
+            .entry(param_id)
+            .or_insert_with(|| (vec![0.0; param.len()], vec![0.0; param.len()]));
+        assert_eq!(
+            m.len(),
+            param.len(),
+            "param {param_id} re-registered with new length"
+        );
+        let AdamWConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+        } = self.cfg;
+        let bc1 = 1.0 - beta1.powi(self.step as i32);
+        let bc2 = 1.0 - beta2.powi(self.step as i32);
+        for i in 0..param.len() {
+            m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+            v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            param[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * param[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // minimize f(w) = 0.5 * (w - 3)^2
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
+        let mut w = vec![0.0f32];
+        for _ in 0..500 {
+            let g = vec![w[0] - 3.0];
+            opt.begin_step();
+            opt.update(0, &mut w, &g);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-2, "w={}", w[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = AdamW::new(AdamWConfig {
+            lr: 0.01,
+            weight_decay: 0.5,
+            ..Default::default()
+        });
+        let mut w = vec![5.0f32];
+        for _ in 0..100 {
+            opt.begin_step();
+            opt.update(0, &mut w, &[0.0]);
+        }
+        assert!(w[0] < 5.0);
+    }
+
+    #[test]
+    fn sharded_update_matches_full() {
+        // Two optimizers each owning half the parameter vector must match a
+        // single optimizer owning the whole thing.
+        let cfg = AdamWConfig {
+            lr: 0.05,
+            ..Default::default()
+        };
+        let mut full = AdamW::new(cfg);
+        let mut lo = AdamW::new(cfg);
+        let mut hi = AdamW::new(cfg);
+        let mut w_full = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut w_shard = w_full.clone();
+        for step in 0..20 {
+            let g: Vec<f32> = w_full
+                .iter()
+                .map(|&x| x * 0.5 + step as f32 * 0.01)
+                .collect();
+            full.begin_step();
+            full.update(0, &mut w_full, &g);
+            let gs: Vec<f32> = w_shard
+                .iter()
+                .map(|&x| x * 0.5 + step as f32 * 0.01)
+                .collect();
+            lo.begin_step();
+            lo.update(0, &mut w_shard[..2], &gs[..2]);
+            hi.begin_step();
+            hi.update(0, &mut w_shard[2..], &gs[2..]);
+        }
+        for (a, b) in w_full.iter().zip(&w_shard) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // State is split: each shard holds half the bytes of the full state.
+        assert_eq!(lo.state_bytes() + hi.state_bytes(), full.state_bytes());
+    }
+
+    #[test]
+    fn state_bytes_accounting() {
+        let mut opt = AdamW::new(AdamWConfig::default());
+        opt.begin_step();
+        let mut w = vec![0.0f32; 10];
+        opt.update(0, &mut w, &[0.0; 10]);
+        assert_eq!(opt.state_bytes(), 10 * 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = AdamW::new(AdamWConfig::default());
+        opt.begin_step();
+        let mut w = vec![0.0f32; 2];
+        opt.update(0, &mut w, &[0.0]);
+    }
+}

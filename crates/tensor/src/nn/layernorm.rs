@@ -1,0 +1,114 @@
+use crate::ops::{self, LayerNormCtx};
+use crate::{Result, Tensor};
+
+/// A layer-norm layer owning its `gamma`/`beta` parameters and gradients.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale parameter `[dim]`.
+    pub gamma: Tensor,
+    /// Shift parameter `[dim]`.
+    pub beta: Tensor,
+    /// Accumulated gradient of `gamma`.
+    pub dgamma: Tensor,
+    /// Accumulated gradient of `beta`.
+    pub dbeta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over the last axis of extent `dim`
+    /// (`gamma = 1`, `beta = 0`).
+    pub fn new(dim: usize, eps: f32) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones(&[dim]),
+            beta: Tensor::zeros(&[dim]),
+            dgamma: Tensor::zeros(&[dim]),
+            dbeta: Tensor::zeros(&[dim]),
+            eps,
+        }
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        2 * self.dim()
+    }
+
+    /// Normalizes `x` over its last axis, returning output plus the
+    /// backward context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`ops::layernorm`].
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LayerNormCtx)> {
+        ops::layernorm(x, &self.gamma, &self.beta, self.eps)
+    }
+
+    /// Accumulates parameter gradients and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`ops::layernorm_bwd`].
+    pub fn backward(&mut self, x: &Tensor, ctx: &LayerNormCtx, dy: &Tensor) -> Result<Tensor> {
+        let (dx, dg, db) = ops::layernorm_bwd(x, &self.gamma, ctx, dy)?;
+        self.dgamma.add_assign(&dg)?;
+        self.dbeta.add_assign(&db)?;
+        Ok(dx)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dgamma.zero_();
+        self.dbeta.zero_();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn forward_backward_round_trip() {
+        let mut rng = init::seeded_rng(70);
+        let mut ln = LayerNorm::new(8, 1e-5);
+        let x = init::randn(&mut rng, &[4, 8], 2.0);
+        let (y, ctx) = ln.forward(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        let dy = Tensor::ones(&[4, 8]);
+        let dx = ln.backward(&x, &ctx, &dy).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        // dbeta is the column-sum of dy
+        assert!(ln.dbeta.allclose(&Tensor::full(&[8], 4.0), 1e-5, 1e-6));
+        ln.zero_grad();
+        assert_eq!(ln.dgamma.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn chunked_backward_accumulates() {
+        let mut rng = init::seeded_rng(71);
+        let x = init::randn(&mut rng, &[4, 8], 1.0);
+        let dy = init::randn(&mut rng, &[4, 8], 1.0);
+        let mut whole = LayerNorm::new(8, 1e-5);
+        let mut chunked = LayerNorm::new(8, 1e-5);
+        let (_, ctx) = whole.forward(&x).unwrap();
+        whole.backward(&x, &ctx, &dy).unwrap();
+        for c in 0..2 {
+            let xc = x.narrow(0, c * 2, 2).unwrap();
+            let dyc = dy.narrow(0, c * 2, 2).unwrap();
+            let (_, ctxc) = chunked.forward(&xc).unwrap();
+            chunked.backward(&xc, &ctxc, &dyc).unwrap();
+        }
+        assert!(chunked.dgamma.allclose(&whole.dgamma, 1e-4, 1e-5));
+        assert!(chunked.dbeta.allclose(&whole.dbeta, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(LayerNorm::new(16, 1e-5).param_count(), 32);
+    }
+}

@@ -1,0 +1,18 @@
+//! Stateful neural-network layers and an AdamW optimizer.
+//!
+//! Layers own their parameters and gradient accumulators; activations flow
+//! through as values together with explicit backward contexts, so the FPDT
+//! runtime can re-run forward chunks (activation checkpointing) and drive
+//! backward in its own chunk order.
+
+mod adamw;
+mod embedding;
+mod layernorm;
+mod linear;
+mod rmsnorm;
+
+pub use adamw::{AdamW, AdamWConfig};
+pub use embedding::Embedding;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use rmsnorm::RmsNorm;

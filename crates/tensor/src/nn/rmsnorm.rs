@@ -1,0 +1,100 @@
+use crate::ops::{self, RmsNormCtx};
+use crate::{Result, Tensor};
+
+/// An RMS-norm layer (Llama-style: scale only, no shift) owning its
+/// `gamma` parameter and gradient.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    /// Scale parameter `[dim]`.
+    pub gamma: Tensor,
+    /// Accumulated gradient of `gamma`.
+    pub dgamma: Tensor,
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Creates an RMS norm over the last axis of extent `dim` (`gamma = 1`).
+    pub fn new(dim: usize, eps: f32) -> Self {
+        RmsNorm {
+            gamma: Tensor::ones(&[dim]),
+            dgamma: Tensor::zeros(&[dim]),
+            eps,
+        }
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.dim()
+    }
+
+    /// Normalizes `x` over its last axis, returning output plus the
+    /// backward context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`ops::rmsnorm`].
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, RmsNormCtx)> {
+        ops::rmsnorm(x, &self.gamma, self.eps)
+    }
+
+    /// Accumulates the parameter gradient and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`ops::rmsnorm_bwd`].
+    pub fn backward(&mut self, x: &Tensor, ctx: &RmsNormCtx, dy: &Tensor) -> Result<Tensor> {
+        let (dx, dg) = ops::rmsnorm_bwd(x, &self.gamma, ctx, dy)?;
+        self.dgamma.add_assign(&dg)?;
+        Ok(dx)
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.dgamma.zero_();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn forward_backward_round_trip() {
+        let mut rng = init::seeded_rng(80);
+        let mut rn = RmsNorm::new(8, 1e-6);
+        let x = init::randn(&mut rng, &[4, 8], 2.0);
+        let (y, ctx) = rn.forward(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        let dy = init::randn(&mut rng, &[4, 8], 1.0);
+        let dx = rn.backward(&x, &ctx, &dy).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert!(rn.dgamma.max_abs() > 0.0);
+        rn.zero_grad();
+        assert_eq!(rn.dgamma.max_abs(), 0.0);
+        assert_eq!(rn.param_count(), 8);
+    }
+
+    #[test]
+    fn chunked_backward_accumulates() {
+        let mut rng = init::seeded_rng(81);
+        let x = init::randn(&mut rng, &[4, 8], 1.0);
+        let dy = init::randn(&mut rng, &[4, 8], 1.0);
+        let mut whole = RmsNorm::new(8, 1e-6);
+        let mut chunked = RmsNorm::new(8, 1e-6);
+        let (_, ctx) = whole.forward(&x).unwrap();
+        whole.backward(&x, &ctx, &dy).unwrap();
+        for c in 0..2 {
+            let xc = x.narrow(0, c * 2, 2).unwrap();
+            let dyc = dy.narrow(0, c * 2, 2).unwrap();
+            let (_, ctxc) = chunked.forward(&xc).unwrap();
+            chunked.backward(&xc, &ctxc, &dyc).unwrap();
+        }
+        assert!(chunked.dgamma.allclose(&whole.dgamma, 1e-4, 1e-5));
+    }
+}

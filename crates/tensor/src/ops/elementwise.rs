@@ -1,0 +1,179 @@
+//! Elementwise activations and bias broadcasting with gradients.
+
+use crate::{Result, Tensor, TensorError};
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEFF: f32 = 0.044_715;
+
+/// GELU activation (tanh approximation, as used by GPT-2/3 and Llama's
+/// reference implementations of `gelu_new`).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_COEFF * v * v * v)).tanh()))
+}
+
+/// Gradient of [`gelu`]: returns `dx` given the forward input and `dy`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x` and `dy` differ in shape.
+pub fn gelu_bwd(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    if x.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gelu_bwd",
+            lhs: x.shape().to_vec(),
+            rhs: dy.shape().to_vec(),
+        });
+    }
+    let mut out = x.clone();
+    for (o, (&v, &g)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(x.data().iter().zip(dy.data()))
+    {
+        let u = SQRT_2_OVER_PI * (v + GELU_COEFF * v * v * v);
+        let t = u.tanh();
+        let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * v * v);
+        let d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+        *o = d * g;
+    }
+    Ok(out)
+}
+
+/// SiLU/swish activation `x * sigmoid(x)` (Llama MLP gate).
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// Gradient of [`silu`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x` and `dy` differ in shape.
+pub fn silu_bwd(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    if x.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "silu_bwd",
+            lhs: x.shape().to_vec(),
+            rhs: dy.shape().to_vec(),
+        });
+    }
+    let mut out = x.clone();
+    for (o, (&v, &g)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(x.data().iter().zip(dy.data()))
+    {
+        let s = 1.0 / (1.0 + (-v).exp());
+        *o = g * (s + v * s * (1.0 - s));
+    }
+    Ok(out)
+}
+
+/// Adds a rank-1 bias across the last axis of `x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `bias.numel()` equals the
+/// last extent of `x`.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let d = *x.shape().last().unwrap_or(&0);
+    if bias.numel() != d {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias",
+            lhs: x.shape().to_vec(),
+            rhs: bias.shape().to_vec(),
+        });
+    }
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(d) {
+        for (o, &b) in row.iter_mut().zip(bias.data()) {
+            *o += b;
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of [`add_bias`] with respect to the bias: sums `dy` over all
+/// leading axes. (`dx` is just `dy` and needs no helper.)
+pub fn add_bias_bwd(dy: &Tensor, d: usize) -> Tensor {
+    let mut db = Tensor::zeros(&[d]);
+    for row in dy.data().chunks(d) {
+        for (o, &g) in db.data_mut().iter_mut().zip(row) {
+            *o += g;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0, 3.0], &[4]).unwrap();
+        let y = gelu(&x);
+        assert!((y.data()[0]).abs() < 1e-7);
+        assert!((y.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.data()[2] + 0.1588).abs() < 1e-3);
+        assert!((y.data()[3] - 2.9964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_bwd_finite_difference() {
+        let mut rng = init::seeded_rng(10);
+        let x = init::randn(&mut rng, &[32], 1.5);
+        let dy = Tensor::ones(&[32]);
+        let dx = gelu_bwd(&x, &dy).unwrap();
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (gelu(&xp).sum() - gelu(&xm).sum()) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-2,
+                "i={i} fd={fd} dx={}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn silu_bwd_finite_difference() {
+        let mut rng = init::seeded_rng(11);
+        let x = init::randn(&mut rng, &[32], 1.5);
+        let dy = Tensor::ones(&[32]);
+        let dx = silu_bwd(&x, &dy).unwrap();
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (silu(&xp).sum() - silu(&xm).sum()) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn bias_broadcast_and_grad() {
+        let x = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let y = add_bias(&x, &b).unwrap();
+        assert_eq!(y.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+        let db = add_bias_bwd(&Tensor::ones(&[2, 3]), 3);
+        assert_eq!(db.data(), &[2.0, 2.0, 2.0]);
+        assert!(add_bias(&x, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let x = Tensor::zeros(&[2]);
+        let dy = Tensor::zeros(&[3]);
+        assert!(gelu_bwd(&x, &dy).is_err());
+        assert!(silu_bwd(&x, &dy).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Layer normalization and RMS normalization with hand-derived backward
+//! passes, applied over the last axis.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Saved forward state required by [`layernorm_bwd`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCtx {
+    /// Per-row mean.
+    pub mean: Vec<f32>,
+    /// Per-row reciprocal standard deviation.
+    pub rstd: Vec<f32>,
+}
+
+/// Saved forward state required by [`rmsnorm_bwd`].
+#[derive(Debug, Clone)]
+pub struct RmsNormCtx {
+    /// Per-row reciprocal root-mean-square.
+    pub rrms: Vec<f32>,
+}
+
+fn check_last_dim(op: &'static str, x: &Tensor, gamma: &Tensor) -> Result<usize> {
+    let d = *x.shape().last().unwrap_or(&0);
+    if gamma.numel() != d || d == 0 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: x.shape().to_vec(),
+            rhs: gamma.shape().to_vec(),
+        });
+    }
+    Ok(d)
+}
+
+/// Layer normalization over the last axis:
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`.
+///
+/// Returns the output and the context needed by [`layernorm_bwd`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `gamma` and `beta` have the
+/// extent of the last axis of `x`.
+pub fn layernorm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, LayerNormCtx)> {
+    let d = check_last_dim("layernorm", x, gamma)?;
+    if beta.numel() != d {
+        return Err(TensorError::ShapeMismatch {
+            op: "layernorm",
+            lhs: x.shape().to_vec(),
+            rhs: beta.shape().to_vec(),
+        });
+    }
+    let rows = x.numel() / d;
+    let mut out = x.clone();
+    let mut mean = Vec::with_capacity(rows);
+    let mut rstd = Vec::with_capacity(rows);
+    for row in out.data_mut().chunks_mut(d) {
+        let m = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / d as f32;
+        let r = 1.0 / (var + eps).sqrt();
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data())) {
+            *v = (*v - m) * r * g + b;
+        }
+        mean.push(m);
+        rstd.push(r);
+    }
+    Ok((out, LayerNormCtx { mean, rstd }))
+}
+
+/// Backward pass of [`layernorm`]. Returns `(dx, dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the saved input, `gamma` or
+/// `dy` disagree in shape.
+pub fn layernorm_bwd(
+    x: &Tensor,
+    gamma: &Tensor,
+    ctx: &LayerNormCtx,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let d = check_last_dim("layernorm_bwd", x, gamma)?;
+    if x.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "layernorm_bwd",
+            lhs: x.shape().to_vec(),
+            rhs: dy.shape().to_vec(),
+        });
+    }
+    let rows = x.numel() / d;
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dgamma = Tensor::zeros(&[d]);
+    let mut dbeta = Tensor::zeros(&[d]);
+    for r in 0..rows {
+        let xs = &x.data()[r * d..(r + 1) * d];
+        let dys = &dy.data()[r * d..(r + 1) * d];
+        let (m, rs) = (ctx.mean[r], ctx.rstd[r]);
+        // xhat_i = (x_i - m) * rs ; y = g*xhat + b
+        // dx = rs/d * (d*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        for i in 0..d {
+            let xhat = (xs[i] - m) * rs;
+            let dxhat = dys[i] * gamma.data()[i];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            dgamma.data_mut()[i] += dys[i] * xhat;
+            dbeta.data_mut()[i] += dys[i];
+        }
+        let dxs = &mut dx.data_mut()[r * d..(r + 1) * d];
+        for i in 0..d {
+            let xhat = (xs[i] - m) * rs;
+            let dxhat = dys[i] * gamma.data()[i];
+            dxs[i] = rs * (dxhat - (sum_dxhat + xhat * sum_dxhat_xhat) / d as f32);
+        }
+    }
+    Ok((dx, dgamma, dbeta))
+}
+
+/// RMS normalization over the last axis (`y = gamma * x / rms(x)`), the
+/// variant used by Llama.
+///
+/// Returns the output and the context needed by [`rmsnorm_bwd`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `gamma` has the extent of
+/// the last axis of `x`.
+pub fn rmsnorm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<(Tensor, RmsNormCtx)> {
+    let d = check_last_dim("rmsnorm", x, gamma)?;
+    let mut out = x.clone();
+    let rows = x.numel() / d;
+    let mut rrms = Vec::with_capacity(rows);
+    for row in out.data_mut().chunks_mut(d) {
+        let ms = row.iter().map(|&v| v * v).sum::<f32>() / d as f32;
+        let r = 1.0 / (ms + eps).sqrt();
+        for (v, &g) in row.iter_mut().zip(gamma.data()) {
+            *v = *v * r * g;
+        }
+        rrms.push(r);
+    }
+    Ok((out, RmsNormCtx { rrms }))
+}
+
+/// Backward pass of [`rmsnorm`]. Returns `(dx, dgamma)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the saved input, `gamma` or
+/// `dy` disagree in shape.
+pub fn rmsnorm_bwd(
+    x: &Tensor,
+    gamma: &Tensor,
+    ctx: &RmsNormCtx,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    let d = check_last_dim("rmsnorm_bwd", x, gamma)?;
+    if x.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "rmsnorm_bwd",
+            lhs: x.shape().to_vec(),
+            rhs: dy.shape().to_vec(),
+        });
+    }
+    let rows = x.numel() / d;
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dgamma = Tensor::zeros(&[d]);
+    for r in 0..rows {
+        let xs = &x.data()[r * d..(r + 1) * d];
+        let dys = &dy.data()[r * d..(r + 1) * d];
+        let rr = ctx.rrms[r];
+        // y_i = g_i * x_i * rr, rr = (mean(x^2)+eps)^{-1/2}
+        // dx_i = rr*g_i*dy_i - x_i * rr^3/d * sum_j dy_j g_j x_j
+        let mut dot = 0.0;
+        for i in 0..d {
+            dot += dys[i] * gamma.data()[i] * xs[i];
+            dgamma.data_mut()[i] += dys[i] * xs[i] * rr;
+        }
+        let dxs = &mut dx.data_mut()[r * d..(r + 1) * d];
+        for i in 0..d {
+            dxs[i] = rr * gamma.data()[i] * dys[i] - xs[i] * rr * rr * rr * dot / d as f32;
+        }
+    }
+    Ok((dx, dgamma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let mut rng = init::seeded_rng(20);
+        let x = init::randn(&mut rng, &[4, 16], 3.0);
+        let g = Tensor::ones(&[16]);
+        let b = Tensor::zeros(&[16]);
+        let (y, _) = layernorm(&x, &g, &b, 1e-5).unwrap();
+        for row in y.data().chunks(16) {
+            let m: f32 = row.iter().sum::<f32>() / 16.0;
+            let v: f32 = row.iter().map(|&t| (t - m) * (t - m)).sum::<f32>() / 16.0;
+            assert!(m.abs() < 1e-4);
+            assert!((v - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_bwd_finite_difference() {
+        let mut rng = init::seeded_rng(21);
+        let x = init::randn(&mut rng, &[3, 8], 1.0);
+        let g = init::randn(&mut rng, &[8], 1.0);
+        let b = init::randn(&mut rng, &[8], 1.0);
+        let dy = init::randn(&mut rng, &[3, 8], 1.0);
+        let (_, ctx) = layernorm(&x, &g, &b, 1e-5).unwrap();
+        let (dx, dgamma, dbeta) = layernorm_bwd(&x, &g, &ctx, &dy).unwrap();
+        let eps = 1e-3;
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| {
+            let (y, _) = layernorm(x, g, b, 1e-5).unwrap();
+            y.mul(&dy).unwrap().sum()
+        };
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &g, &b) - loss(&xm, &g, &b)) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}] fd {fd} got {}",
+                dx.data()[i]
+            );
+        }
+        for i in 0..8 {
+            let mut gp = g.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = g.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp, &b) - loss(&x, &gm, &b)) / (2.0 * eps);
+            assert!((fd - dgamma.data()[i]).abs() < 2e-2);
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &g, &bp) - loss(&x, &g, &bm)) / (2.0 * eps);
+            assert!((fd - dbeta.data()[i]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_rms() {
+        let mut rng = init::seeded_rng(22);
+        let x = init::randn(&mut rng, &[4, 16], 2.0);
+        let g = Tensor::ones(&[16]);
+        let (y, _) = rmsnorm(&x, &g, 1e-6).unwrap();
+        for row in y.data().chunks(16) {
+            let ms: f32 = row.iter().map(|&t| t * t).sum::<f32>() / 16.0;
+            assert!((ms - 1.0).abs() < 1e-2, "rms^2 {ms}");
+        }
+    }
+
+    #[test]
+    fn rmsnorm_bwd_finite_difference() {
+        let mut rng = init::seeded_rng(23);
+        let x = init::randn(&mut rng, &[2, 8], 1.0);
+        let g = init::randn(&mut rng, &[8], 1.0);
+        let dy = init::randn(&mut rng, &[2, 8], 1.0);
+        let (_, ctx) = rmsnorm(&x, &g, 1e-6).unwrap();
+        let (dx, dgamma) = rmsnorm_bwd(&x, &g, &ctx, &dy).unwrap();
+        let eps = 1e-3;
+        let loss = |x: &Tensor, g: &Tensor| {
+            let (y, _) = rmsnorm(x, g, 1e-6).unwrap();
+            y.mul(&dy).unwrap().sum()
+        };
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &g) - loss(&xm, &g)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}]");
+        }
+        for i in 0..8 {
+            let mut gp = g.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = g.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp) - loss(&x, &gm)) / (2.0 * eps);
+            assert!((fd - dgamma.data()[i]).abs() < 2e-2, "dgamma[{i}]");
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Tensor::zeros(&[2, 4]);
+        let bad = Tensor::zeros(&[3]);
+        let ok = Tensor::zeros(&[4]);
+        assert!(layernorm(&x, &bad, &ok, 1e-5).is_err());
+        assert!(layernorm(&x, &ok, &bad, 1e-5).is_err());
+        assert!(rmsnorm(&x, &bad, 1e-5).is_err());
+    }
+}

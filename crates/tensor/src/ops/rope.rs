@@ -1,0 +1,157 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! FPDT processes the sequence in chunks, so RoPE must be applied with
+//! *global* token positions rather than chunk-local offsets — [`rope`]
+//! therefore takes an explicit position per row. The backward pass is a
+//! rotation by the negative angle (rotations are orthogonal).
+
+use crate::{Result, Tensor, TensorError};
+
+fn rotate(x: &Tensor, positions: &[usize], base: f32, sign: f32) -> Result<Tensor> {
+    if x.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "rope",
+            expected: 3,
+            actual: x.ndim(),
+        });
+    }
+    let (s, h, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    if positions.len() != s {
+        return Err(TensorError::ShapeMismatch {
+            op: "rope",
+            lhs: x.shape().to_vec(),
+            rhs: vec![positions.len()],
+        });
+    }
+    if d % 2 != 0 {
+        return Err(TensorError::InvalidSlice {
+            what: format!("rope head dim {d} must be even"),
+        });
+    }
+    let half = d / 2;
+    // inverse frequencies: base^(-2i/d)
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|i| base.powf(-2.0 * i as f32 / d as f32))
+        .collect();
+    let mut out = x.clone();
+    for (t, &pos) in positions.iter().enumerate() {
+        for head in 0..h {
+            let off = (t * h + head) * d;
+            let row = &mut out.data_mut()[off..off + d];
+            for i in 0..half {
+                let theta = sign * pos as f32 * inv_freq[i];
+                let (sin, cos) = theta.sin_cos();
+                let (a, b) = (row[2 * i], row[2 * i + 1]);
+                row[2 * i] = a * cos - b * sin;
+                row[2 * i + 1] = a * sin + b * cos;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies rotary position embedding to a `[seq, heads, head_dim]` tensor,
+/// rotating each consecutive pair of features by `pos * base^(-2i/d)`.
+///
+/// `positions[t]` is the *global* position of row `t`; FPDT chunks pass
+/// their shuffled global positions here.
+///
+/// # Errors
+///
+/// Returns a rank/shape error unless `x` is rank 3 with an even head dim
+/// and `positions.len() == seq`.
+pub fn rope(x: &Tensor, positions: &[usize], base: f32) -> Result<Tensor> {
+    rotate(x, positions, base, 1.0)
+}
+
+/// Backward pass of [`rope`]: rotates the upstream gradient by the negative
+/// angles (the Jacobian of a rotation is its transpose).
+///
+/// # Errors
+///
+/// Same conditions as [`rope`].
+pub fn rope_bwd(dy: &Tensor, positions: &[usize], base: f32) -> Result<Tensor> {
+    rotate(dy, positions, base, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    const BASE: f32 = 10_000.0;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut rng = init::seeded_rng(40);
+        let x = init::randn(&mut rng, &[1, 2, 8], 1.0);
+        let y = rope(&x, &[0], BASE).unwrap();
+        assert!(y.allclose(&x, 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut rng = init::seeded_rng(41);
+        let x = init::randn(&mut rng, &[4, 2, 8], 1.0);
+        let y = rope(&x, &[0, 5, 10, 1000], BASE).unwrap();
+        assert!((x.norm() - y.norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bwd_inverts_fwd() {
+        let mut rng = init::seeded_rng(42);
+        let x = init::randn(&mut rng, &[3, 2, 8], 1.0);
+        let pos = [7, 20, 33];
+        let y = rope(&x, &pos, BASE).unwrap();
+        let back = rope_bwd(&y, &pos, BASE).unwrap();
+        assert!(back.allclose(&x, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn dot_products_depend_only_on_relative_position() {
+        // The defining property of RoPE: <rope(q, m), rope(k, n)> depends
+        // only on (m - n) for a fixed pair (q, k).
+        let mut rng = init::seeded_rng(43);
+        let q = init::randn(&mut rng, &[1, 1, 16], 1.0);
+        let k = init::randn(&mut rng, &[1, 1, 16], 1.0);
+        let dot = |m: usize, n: usize| {
+            let qr = rope(&q, &[m], BASE).unwrap();
+            let kr = rope(&k, &[n], BASE).unwrap();
+            qr.data()
+                .iter()
+                .zip(kr.data())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+        };
+        let d1 = dot(10, 3);
+        let d2 = dot(107, 100);
+        assert!((d1 - d2).abs() < 1e-3, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn chunked_positions_match_global() {
+        // Applying rope to a full sequence equals applying it per chunk
+        // with global positions — the invariant FPDT relies on.
+        let mut rng = init::seeded_rng(44);
+        let x = init::randn(&mut rng, &[8, 2, 8], 1.0);
+        let pos: Vec<usize> = (0..8).collect();
+        let full = rope(&x, &pos, BASE).unwrap();
+        let mut parts = Vec::new();
+        for c in 0..4 {
+            let chunk = x.narrow(0, c * 2, 2).unwrap();
+            parts.push(rope(&chunk, &pos[c * 2..c * 2 + 2], BASE).unwrap());
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let stitched = Tensor::concat(&refs, 0).unwrap();
+        assert!(stitched.allclose(&full, 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn rope_errors() {
+        let x = Tensor::zeros(&[2, 2, 7]); // odd head dim
+        assert!(rope(&x, &[0, 1], BASE).is_err());
+        let x = Tensor::zeros(&[2, 2, 8]);
+        assert!(rope(&x, &[0], BASE).is_err()); // wrong positions len
+        assert!(rope(&Tensor::zeros(&[4, 4]), &[0], BASE).is_err()); // rank
+    }
+}

@@ -1,0 +1,71 @@
+//! Long-context planner: for a model and a cluster, compare how far each
+//! training strategy can stretch the context window and at what MFU —
+//! the question paper Table 1 / Figure 11 answer.
+//!
+//! ```sh
+//! cargo run --release --example long_context_planner
+//! ```
+
+use fpdt_core::strategy::Fpdt;
+use fpdt_model::config::ModelConfig;
+use fpdt_parallel::megatron::MegatronSp;
+use fpdt_parallel::ring::RingAttention;
+use fpdt_parallel::ulysses::Ulysses;
+use fpdt_parallel::{max_seq_len, Strategy, TrainSetup};
+use fpdt_sim::hw::ClusterSpec;
+
+fn human(seq: u64) -> String {
+    const M: u64 = 1024 * 1024;
+    const K: u64 = 1024;
+    if seq >= M {
+        format!("{}M", seq / M)
+    } else {
+        format!("{}K", seq / K)
+    }
+}
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let cluster = ClusterSpec::a100_80g(2, 4); // 8 x A100-80G, 2 nodes
+
+    println!(
+        "model: {} ({:.1}B params)",
+        model.name,
+        model.param_count() as f64 / 1e9
+    );
+    println!(
+        "cluster: {} x {}\n",
+        cluster.total_gpus(),
+        cluster.node.gpu.name
+    );
+    println!(
+        "{:<28} {:>10} {:>8} {:>10} {:>12}",
+        "strategy", "max ctx", "MFU", "HBM/GPU", "host/node"
+    );
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(MegatronSp::paper_baseline()),
+        Box::new(Ulysses::paper_baseline()),
+        Box::new(RingAttention::paper_baseline()),
+        Box::new(Fpdt::chunking_only()),
+        Box::new(Fpdt::paper_default()),
+    ];
+
+    for s in &strategies {
+        match max_seq_len(s.as_ref(), &model, &cluster) {
+            Some(best) => {
+                let est = s.estimate(&TrainSetup::new(model.clone(), cluster.clone(), best));
+                println!(
+                    "{:<28} {:>10} {:>7.1}% {:>9.1}G {:>11.0}G",
+                    s.name(),
+                    human(best),
+                    est.mfu * 100.0,
+                    est.peak_hbm as f64 / (1u64 << 30) as f64,
+                    est.host_bytes_per_node as f64 / (1u64 << 30) as f64,
+                );
+            }
+            None => println!("{:<28} {:>10}", s.name(), "OOM"),
+        }
+    }
+    println!("\nFPDT's offloaded pipeline extends context by ~an order of magnitude.");
+}

@@ -1,0 +1,186 @@
+//! `fpdt-plan` — command-line long-context training planner.
+//!
+//! ```sh
+//! fpdt-plan --model 8b --gpus 8 --hbm 80
+//! fpdt-plan --model 70b --gpus 32 --seq 4M --chunk 64K
+//! ```
+//!
+//! Prints, for the given model and cluster, the maximum trainable context
+//! and predicted MFU/HBM/host usage for Megatron-SP, Ulysses, Ring
+//! Attention and FPDT — or, with `--seq`, the estimate at one specific
+//! sequence length.
+
+use fpdt_core::strategy::Fpdt;
+use fpdt_model::config::ModelConfig;
+use fpdt_parallel::megatron::MegatronSp;
+use fpdt_parallel::ring::RingAttention;
+use fpdt_parallel::ulysses::Ulysses;
+use fpdt_parallel::{max_seq_len, Strategy, TrainSetup};
+use fpdt_sim::hw::ClusterSpec;
+use std::process::ExitCode;
+
+fn parse_tokens(s: &str) -> Option<u64> {
+    let s = s.trim().to_uppercase();
+    let (num, mult) = if let Some(n) = s.strip_suffix('M') {
+        (n, 1024 * 1024)
+    } else if let Some(n) = s.strip_suffix('K') {
+        (n, 1024)
+    } else {
+        (s.as_str(), 1)
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+fn human(n: u64) -> String {
+    const M: u64 = 1024 * 1024;
+    if n >= M && n.is_multiple_of(M) {
+        format!("{}M", n / M)
+    } else {
+        format!("{}K", n / 1024)
+    }
+}
+
+fn pick_model(name: &str) -> Option<ModelConfig> {
+    let n = name.to_lowercase();
+    Some(match n.as_str() {
+        "2.7b" | "gpt-2.7b" => ModelConfig::gpt_2_7b(),
+        "6.7b" | "gpt-6.7b" => ModelConfig::gpt_6_7b(),
+        "8b" | "llama3-8b" | "llama-8b" => ModelConfig::llama3_8b(),
+        "13b" | "gpt-13b" => ModelConfig::gpt_13b(),
+        "30b" | "gpt-30b" => ModelConfig::gpt_30b(),
+        "70b" | "llama-70b" => ModelConfig::llama_70b(),
+        _ => return None,
+    })
+}
+
+struct Args {
+    model: ModelConfig,
+    gpus: usize,
+    hbm: u64,
+    seq: Option<u64>,
+    chunk: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: fpdt-plan --model <2.7b|6.7b|8b|13b|30b|70b> [--gpus N] [--hbm 40|80] \
+     [--seq <tokens, e.g. 2M>] [--chunk <tokens, default 64K>]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut model = None;
+    let mut gpus = 8usize;
+    let mut hbm = 80u64;
+    let mut seq = None;
+    let mut chunk = 64 * 1024u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let val = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--model" => {
+                model = Some(pick_model(val).ok_or_else(|| format!("unknown model {val}"))?)
+            }
+            "--gpus" => gpus = val.parse().map_err(|_| format!("bad gpu count {val}"))?,
+            "--hbm" => hbm = val.parse().map_err(|_| format!("bad hbm {val}"))?,
+            "--seq" => seq = Some(parse_tokens(val).ok_or_else(|| format!("bad seq {val}"))?),
+            "--chunk" => chunk = parse_tokens(val).ok_or_else(|| format!("bad chunk {val}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(Args {
+        model: model.ok_or("--model is required")?,
+        gpus,
+        hbm,
+        seq,
+        chunk,
+    })
+}
+
+fn cluster_for(gpus: usize, hbm: u64) -> ClusterSpec {
+    let (nodes, per) = if gpus <= 4 {
+        (1, gpus)
+    } else {
+        (gpus.div_ceil(4), 4)
+    };
+    if hbm <= 40 {
+        ClusterSpec::a100_40g(nodes, per)
+    } else {
+        ClusterSpec::a100_80g(nodes, per)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = cluster_for(args.gpus, args.hbm);
+    println!(
+        "{} ({:.1}B params) on {} x {}\n",
+        args.model.name,
+        args.model.param_count() as f64 / 1e9,
+        cluster.total_gpus(),
+        cluster.node.gpu.name
+    );
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(MegatronSp::paper_baseline()),
+        Box::new(Ulysses::paper_baseline()),
+        Box::new(RingAttention::paper_baseline()),
+        Box::new(Fpdt {
+            chunk_tokens: args.chunk,
+            ..Fpdt::paper_default()
+        }),
+    ];
+
+    match args.seq {
+        Some(seq) => {
+            println!(
+                "{:<28} {:>8} {:>8} {:>10} {:>12} {:>8}",
+                "strategy", "seq", "MFU", "HBM/GPU", "host/node", "fits"
+            );
+            for s in &strategies {
+                let est = s.estimate(&TrainSetup::new(args.model.clone(), cluster.clone(), seq));
+                println!(
+                    "{:<28} {:>8} {:>7.1}% {:>9.1}G {:>11.1}G {:>8}",
+                    s.name(),
+                    human(seq),
+                    est.mfu * 100.0,
+                    est.peak_hbm as f64 / (1u64 << 30) as f64,
+                    est.host_bytes_per_node as f64 / (1u64 << 30) as f64,
+                    est.fits
+                );
+            }
+        }
+        None => {
+            println!(
+                "{:<28} {:>10} {:>8} {:>10}",
+                "strategy", "max ctx", "MFU", "HBM/GPU"
+            );
+            for s in &strategies {
+                match max_seq_len(s.as_ref(), &args.model, &cluster) {
+                    Some(best) => {
+                        let est =
+                            s.estimate(&TrainSetup::new(args.model.clone(), cluster.clone(), best));
+                        println!(
+                            "{:<28} {:>10} {:>7.1}% {:>9.1}G",
+                            s.name(),
+                            human(best),
+                            est.mfu * 100.0,
+                            est.peak_hbm as f64 / (1u64 << 30) as f64
+                        );
+                    }
+                    None => println!("{:<28} {:>10}", s.name(), "OOM"),
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,3 @@
+//! Umbrella crate for the FPDT reproduction: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//! See the member crates (`fpdt-core`, `fpdt-sim`, ...) for the actual APIs.

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the planner stack (`fpdt-model` accounting +
+//! `fpdt-sim` engine + `fpdt-parallel` baselines + `fpdt-core` FPDT)
+//! must jointly reproduce the paper's headline comparisons.
+
+use fpdt_core::strategy::Fpdt;
+use fpdt_model::config::ModelConfig;
+use fpdt_parallel::megatron::MegatronSp;
+use fpdt_parallel::ring::RingAttention;
+use fpdt_parallel::ulysses::Ulysses;
+use fpdt_parallel::{max_seq_len, seq_ladder, Strategy, TrainSetup};
+use fpdt_sim::hw::ClusterSpec;
+
+const K: u64 = 1024;
+const M: u64 = 1024 * 1024;
+
+#[test]
+fn fpdt_dominates_every_baseline_on_every_paper_model() {
+    for m in ModelConfig::paper_suite() {
+        // allocate enough nodes that even the 70B fits
+        let nodes = if m.param_count() > 3e10 as u64 { 8 } else { 2 };
+        let cluster = ClusterSpec::a100_80g(nodes, 4);
+        let fpdt = max_seq_len(&Fpdt::paper_default(), &m, &cluster);
+        let uly = max_seq_len(&Ulysses::paper_baseline(), &m, &cluster);
+        let meg = max_seq_len(&MegatronSp::paper_baseline(), &m, &cluster);
+        let ring = max_seq_len(&RingAttention::paper_baseline(), &m, &cluster);
+        let f = fpdt.expect("FPDT fits somewhere");
+        for (name, other) in [("ulysses", uly), ("megatron", meg), ("ring", ring)] {
+            let o = other.unwrap_or(0);
+            assert!(f >= o * 4, "{}: fpdt {f} vs {name} {o}", m.name);
+        }
+    }
+}
+
+#[test]
+fn max_context_is_monotone_in_gpu_count_and_hbm() {
+    let m = ModelConfig::llama3_8b();
+    let fpdt = Fpdt::paper_default();
+    let mut prev = 0u64;
+    for gpus in [4usize, 8, 16] {
+        let (nodes, per) = if gpus <= 4 { (1, gpus) } else { (gpus / 4, 4) };
+        let best = max_seq_len(&fpdt, &m, &ClusterSpec::a100_80g(nodes, per)).unwrap_or(0);
+        assert!(best >= prev, "{gpus} GPUs: {best} < {prev}");
+        prev = best;
+    }
+    // 80G >= 40G at fixed GPU count
+    let c40 = max_seq_len(&fpdt, &m, &ClusterSpec::a100_40g(1, 4)).unwrap_or(0);
+    let c80 = max_seq_len(&fpdt, &m, &ClusterSpec::a100_80g(1, 4)).unwrap_or(0);
+    assert!(c80 >= c40);
+}
+
+#[test]
+fn table1_dash_cells_oom() {
+    // Models whose sharded state alone exceeds small configurations must
+    // report None — the paper's `-` cells.
+    let fpdt = Fpdt::paper_default();
+    assert_eq!(
+        max_seq_len(
+            &fpdt,
+            &ModelConfig::llama_70b(),
+            &ClusterSpec::a100_80g(1, 4)
+        ),
+        None,
+        "70B on 4 GPUs"
+    );
+    assert_eq!(
+        max_seq_len(&fpdt, &ModelConfig::gpt_30b(), &ClusterSpec::a100_40g(1, 4)),
+        None,
+        "30B on 4x40G"
+    );
+}
+
+#[test]
+fn abstract_numbers_hold() {
+    // "train 8B LLM with 2 million sequence length on only 4 GPUs, while
+    // also maintaining over 55% of MFU" (we accept >= 50% from the DES).
+    let m = ModelConfig::llama3_8b();
+    let cluster = ClusterSpec::a100_80g(1, 4);
+    let setup = TrainSetup::new(m, cluster, 2 * M);
+    let est = Fpdt::paper_default().estimate(&setup);
+    assert!(est.fits, "2M must fit on 4 GPUs");
+    assert!(est.mfu >= 0.50, "mfu {}", est.mfu);
+}
+
+#[test]
+fn mfu_curves_rise_and_flatten() {
+    // Figure 11's characteristic shape: MFU increases with context and
+    // saturates near the attention-bound ceiling.
+    let m = ModelConfig::gpt_6_7b();
+    let cluster = ClusterSpec::a100_80g(1, 4);
+    let fpdt = Fpdt::paper_default();
+    let mut last = 0.0;
+    let mut mfus = Vec::new();
+    for s in seq_ladder() {
+        let est = fpdt.estimate(&TrainSetup::new(m.clone(), cluster.clone(), s));
+        if !est.fits {
+            break;
+        }
+        assert!(
+            est.mfu >= last - 0.02,
+            "near-monotone: {} after {}",
+            est.mfu,
+            last
+        );
+        last = est.mfu;
+        mfus.push(est.mfu);
+    }
+    assert!(mfus.len() >= 5, "several rungs fit");
+    let tail = mfus[mfus.len() - 1] - mfus[mfus.len() - 2];
+    assert!(tail < 0.02, "curve flattens at the top");
+}
+
+#[test]
+fn chunk_size_sweet_spot_exists() {
+    // Figure 12: tiny chunks are PCIe-bound, huge chunks lose pipelining;
+    // some interior chunk size maximizes MFU (or ties the largest).
+    let m = ModelConfig::gpt_2_7b();
+    let cluster = ClusterSpec::a100_80g(1, 4);
+    let seq = 256 * K;
+    let mfu_at = |chunk_tokens: u64| {
+        Fpdt {
+            chunk_tokens,
+            ..Fpdt::paper_default()
+        }
+        .estimate(&TrainSetup::new(m.clone(), cluster.clone(), seq))
+        .mfu
+    };
+    let tiny = mfu_at(8 * K);
+    let sweet = mfu_at(32 * K).max(mfu_at(64 * K));
+    assert!(
+        sweet > tiny,
+        "sweet spot beats tiny chunks: {sweet} vs {tiny}"
+    );
+    // and memory strictly shrinks with smaller chunks
+    let hbm_at = |chunk_tokens: u64| {
+        Fpdt {
+            chunk_tokens,
+            ..Fpdt::paper_default()
+        }
+        .estimate(&TrainSetup::new(m.clone(), cluster.clone(), seq))
+        .peak_hbm
+    };
+    assert!(hbm_at(8 * K) < hbm_at(64 * K));
+    assert!(hbm_at(64 * K) < hbm_at(256 * K));
+}
+
+#[test]
+fn megatron_gap_widens_across_nodes() {
+    // §5.2: Megatron-SP degrades severely once inter-node communication
+    // is involved, while Ulysses holds up better.
+    let m = ModelConfig::gpt_6_7b();
+    let seq = 128 * K;
+    let gap = |nodes: usize| {
+        let cluster = ClusterSpec::a100_80g(nodes, 4);
+        let setup = TrainSetup::new(m.clone(), cluster, seq);
+        let u = Ulysses::paper_baseline().estimate(&setup).mfu;
+        let g = MegatronSp::paper_baseline().estimate(&setup).mfu;
+        u - g
+    };
+    assert!(
+        gap(2) > gap(1),
+        "multi-node gap {} vs single-node {}",
+        gap(2),
+        gap(1)
+    );
+}
