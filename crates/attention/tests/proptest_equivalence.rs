@@ -146,7 +146,6 @@ proptest! {
 
 mod gqa_props {
     use super::*;
-    use proptest::prelude::*;
 
     fn rand_gqa(
         seed: u64,

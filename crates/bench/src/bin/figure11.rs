@@ -2,8 +2,12 @@
 //! Megatron-SP, Ulysses, and FPDT (chunking / offload+double-buffer),
 //! across all six models on the paper's GPU allocations. "OOM" marks the
 //! first rung where a method runs out of device or host memory.
+//!
+//! Pass `--json` to suppress the tables and emit only the machine-readable
+//! artifacts (`BENCH_figure11.json` + `figure11.trace.json`).
 
-use fpdt_bench::{human_tokens, paper_gpu_allocation, write_json};
+use fpdt_bench::{emit_bench_artifacts, human_tokens, json_mode, paper_gpu_allocation, write_json};
+use fpdt_core::pipeline::{simulate_block, PipelineOpts};
 use fpdt_core::strategy::Fpdt;
 use fpdt_model::config::ModelConfig;
 use fpdt_parallel::megatron::MegatronSp;
@@ -21,38 +25,47 @@ struct Point {
 }
 
 fn main() {
+    let quiet = json_mode();
     let mut points = Vec::new();
     for m in ModelConfig::paper_suite() {
         let (nodes, gpn) = paper_gpu_allocation(&m.name);
         let cluster = ClusterSpec::a100_80g(nodes, gpn);
-        println!(
-            "=== {} on {} GPUs ({} nodes) ===",
-            m.name,
-            cluster.total_gpus(),
-            nodes
-        );
+        if !quiet {
+            println!(
+                "=== {} on {} GPUs ({} nodes) ===",
+                m.name,
+                cluster.total_gpus(),
+                nodes
+            );
+            print!("{:<26}", "seq");
+            for s in seq_ladder() {
+                print!("{:>8}", human_tokens(s));
+            }
+            println!();
+        }
         let strategies: Vec<Box<dyn Strategy>> = vec![
             Box::new(MegatronSp::paper_baseline()),
             Box::new(Ulysses::paper_baseline()),
             Box::new(Fpdt::chunking_only()),
             Box::new(Fpdt::paper_default()),
         ];
-        print!("{:<26}", "seq");
-        for s in seq_ladder() {
-            print!("{:>8}", human_tokens(s));
-        }
-        println!();
         for strat in &strategies {
-            print!("{:<26}", strat.name());
+            if !quiet {
+                print!("{:<26}", strat.name());
+            }
             let mut oomed = false;
             for seq in seq_ladder() {
                 if oomed {
-                    print!("{:>8}", "");
+                    if !quiet {
+                        print!("{:>8}", "");
+                    }
                     continue;
                 }
                 let est = strat.estimate(&TrainSetup::new(m.clone(), cluster.clone(), seq));
                 if est.fits {
-                    print!("{:>7.1}%", est.mfu * 100.0);
+                    if !quiet {
+                        print!("{:>7.1}%", est.mfu * 100.0);
+                    }
                     points.push(Point {
                         model: m.name.clone(),
                         strategy: strat.name(),
@@ -60,7 +73,9 @@ fn main() {
                         mfu: Some(est.mfu),
                     });
                 } else {
-                    print!("{:>8}", "OOM");
+                    if !quiet {
+                        print!("{:>8}", "OOM");
+                    }
                     points.push(Point {
                         model: m.name.clone(),
                         strategy: strat.name(),
@@ -70,11 +85,27 @@ fn main() {
                     oomed = true;
                 }
             }
+            if !quiet {
+                println!();
+            }
+        }
+        if !quiet {
             println!();
         }
-        println!();
     }
-    println!("paper reference (Figure 11): baselines OOM at 64K-512K; FPDT w. chunking");
-    println!("extends ~8x; FPDT w. offload reaches 2M-4M at comparable MFU.");
-    write_json("figure11", &points);
+    if !quiet {
+        println!("paper reference (Figure 11): baselines OOM at 64K-512K; FPDT w. chunking");
+        println!("extends ~8x; FPDT w. offload reaches 2M-4M at comparable MFU.");
+        write_json("figure11", &points);
+    }
+    // Representative schedule for the timeline/metrics artifacts: the
+    // paper-default pipeline on Llama-3 8B at 256K on two nodes.
+    let rep = simulate_block(
+        &ModelConfig::llama3_8b(),
+        &ClusterSpec::a100_80g(2, 4),
+        256 * 1024,
+        PipelineOpts::paper(8),
+    )
+    .expect("representative simulation runs");
+    emit_bench_artifacts("figure11", &points, &rep.sim);
 }

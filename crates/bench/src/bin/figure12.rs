@@ -4,7 +4,8 @@
 //!
 //! 256K chunk = 1 chunk = the no-chunking Ulysses baseline.
 
-use fpdt_bench::{gib, write_json};
+use fpdt_bench::{emit_bench_artifacts, gib, json_mode, write_json};
+use fpdt_core::pipeline::{simulate_block, PipelineOpts};
 use fpdt_core::strategy::Fpdt;
 use fpdt_model::config::ModelConfig;
 use fpdt_model::memory::static_bytes;
@@ -26,6 +27,7 @@ struct Row {
 
 fn main() {
     const K: u64 = 1024;
+    let quiet = json_mode();
     let seq = 256 * K;
     let cases = [
         (ModelConfig::gpt_2_7b(), 1usize),
@@ -41,11 +43,13 @@ fn main() {
         let world = cluster.total_gpus();
         let stat = static_bytes(m, ZeroStage::Three.shard_spec(world))
             + ZeroStage::Three.live_param_overhead(m);
-        println!("=== {} on {} GPUs, 256K global sequence ===", m.name, world);
-        println!(
-            "{:>10} {:>8} {:>8} {:>12} {:>12} {:>8}",
-            "chunk", "chunks", "MFU", "p&o (GiB)", "act (GiB)", "fits"
-        );
+        if !quiet {
+            println!("=== {} on {} GPUs, 256K global sequence ===", m.name, world);
+            println!(
+                "{:>10} {:>8} {:>8} {:>12} {:>12} {:>8}",
+                "chunk", "chunks", "MFU", "p&o (GiB)", "act (GiB)", "fits"
+            );
+        }
         for &cs in &chunk_sizes {
             let f = Fpdt {
                 chunk_tokens: cs,
@@ -53,15 +57,17 @@ fn main() {
             };
             let est = f.estimate(&TrainSetup::new(m.clone(), cluster.clone(), seq));
             let act = est.peak_hbm.saturating_sub(stat);
-            println!(
-                "{:>9}K {:>8} {:>7.1}% {:>12.1} {:>12.1} {:>8}",
-                cs / K,
-                f.chunk_count(seq),
-                est.mfu * 100.0,
-                gib(stat),
-                gib(act),
-                est.fits
-            );
+            if !quiet {
+                println!(
+                    "{:>9}K {:>8} {:>7.1}% {:>12.1} {:>12.1} {:>8}",
+                    cs / K,
+                    f.chunk_count(seq),
+                    est.mfu * 100.0,
+                    gib(stat),
+                    gib(act),
+                    est.fits
+                );
+            }
             rows.push(Row {
                 model: m.name.clone(),
                 chunk_tokens: cs,
@@ -72,10 +78,24 @@ fn main() {
                 fits: est.fits,
             });
         }
-        println!();
+        if !quiet {
+            println!();
+        }
     }
-    println!("paper reference (Figure 12): activations shrink steeply with more chunks");
-    println!("(e.g. 2.7B: 27G -> 18G with 2 chunks); MFU flat for chunks >= 64K, dipping");
-    println!("for tiny chunks where fetch latency can no longer hide under compute.");
-    write_json("figure12", &rows);
+    if !quiet {
+        println!("paper reference (Figure 12): activations shrink steeply with more chunks");
+        println!("(e.g. 2.7B: 27G -> 18G with 2 chunks); MFU flat for chunks >= 64K, dipping");
+        println!("for tiny chunks where fetch latency can no longer hide under compute.");
+        write_json("figure12", &rows);
+    }
+    // Representative schedule: GPT-2.7B at the paper's 64K sweet-spot
+    // chunk size (4 chunks at 256K) on one node.
+    let rep = simulate_block(
+        &ModelConfig::gpt_2_7b(),
+        &ClusterSpec::a100_80g(1, 4),
+        seq,
+        PipelineOpts::paper(4),
+    )
+    .expect("representative simulation runs");
+    emit_bench_artifacts("figure12", &rows, &rep.sim);
 }

@@ -2,8 +2,11 @@
 //! block (Llama-3 8B). FFN gradients run first at 2x the attention chunk
 //! count; then the Figure-7 attention nest, whose fetched chunks keep the
 //! footprint flat and low.
+//!
+//! Pass `--json` to suppress the tables and emit only the machine-readable
+//! artifacts (`BENCH_figure13.json` + `figure13.trace.json`).
 
-use fpdt_bench::{sparkline, write_json};
+use fpdt_bench::{emit_bench_artifacts, json_mode, sparkline, write_json};
 use fpdt_core::pipeline::{simulate_block, PipelineOpts};
 use fpdt_model::config::ModelConfig;
 use fpdt_sim::hw::ClusterSpec;
@@ -16,6 +19,7 @@ struct Sample {
 }
 
 fn main() {
+    let quiet = json_mode();
     let model = ModelConfig::llama3_8b();
     let cluster = ClusterSpec::a100_80g(2, 4);
     let seq = 512 * 1024;
@@ -34,18 +38,20 @@ fn main() {
             .collect();
         let bytes: Vec<u64> = bwd.iter().map(|&(_, b)| b).collect();
         let peak = bytes.iter().copied().max().unwrap_or(0);
-        println!("=== {label} ===");
-        println!(
-            "block fwd {:.1} ms, bwd {:.1} ms",
-            rep.fwd_seconds * 1e3,
-            rep.bwd_seconds * 1e3
-        );
-        println!(
-            "backward transient peak: {:.1} MiB",
-            peak as f64 / (1 << 20) as f64
-        );
-        println!("{}", sparkline(&bytes));
-        println!();
+        if !quiet {
+            println!("=== {label} ===");
+            println!(
+                "block fwd {:.1} ms, bwd {:.1} ms",
+                rep.fwd_seconds * 1e3,
+                rep.bwd_seconds * 1e3
+            );
+            println!(
+                "backward transient peak: {:.1} MiB",
+                peak as f64 / (1 << 20) as f64
+            );
+            println!("{}", sparkline(&bytes));
+            println!();
+        }
         if label.contains("offload") {
             let samples: Vec<Sample> = bwd
                 .iter()
@@ -54,9 +60,14 @@ fn main() {
                     mib: b as f64 / (1 << 20) as f64,
                 })
                 .collect();
-            write_json("figure13", &samples);
+            if !quiet {
+                write_json("figure13", &samples);
+            }
+            emit_bench_artifacts("figure13", &samples, &rep.sim);
         }
     }
-    println!("paper reference (Figure 13): FFN chunks at 2x attention chunking keep the");
-    println!("attention part the binding constraint; offloading flattens the profile.");
+    if !quiet {
+        println!("paper reference (Figure 13): FFN chunks at 2x attention chunking keep the");
+        println!("attention part the binding constraint; offloading flattens the profile.");
+    }
 }

@@ -59,6 +59,54 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     eprintln!("[wrote {}]", path.display());
 }
 
+/// Machine-readable benchmark artifacts: a `BENCH_<name>.json` metrics
+/// document plus a Chrome-trace timeline (`<name>.trace.json`, load in
+/// Perfetto), both under `target/experiments/`. The metrics document
+/// bundles the figure's data rows with the schedule metrics derived from
+/// a representative simulated block (per-stream occupancy, compute/copy
+/// overlap ratio, PCIe busy fraction, HBM peak).
+///
+/// Both documents are re-parsed after writing; `--json` smoke steps in CI
+/// key off the `BENCH_JSON_OK` lines this prints.
+///
+/// # Panics
+///
+/// Panics when the artifacts cannot be written or do not parse back — a
+/// broken exporter must fail the run, not ship bad JSON.
+pub fn emit_bench_artifacts<T: Serialize>(
+    name: &str,
+    rows: &T,
+    report: &fpdt_sim::engine::SimReport,
+) {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+
+    let metrics = fpdt_trace::ScheduleMetrics::from_report(report);
+    let rows_json = serde_json::to_string_pretty(rows).expect("serialize rows");
+    let body = format!(
+        "{{\n\"bench\": \"{name}\",\n\"schedule_metrics\": {},\n\"rows\": {rows_json}\n}}",
+        metrics.to_json()
+    );
+    let metrics_path = dir.join(format!("BENCH_{name}.json"));
+    fs::write(&metrics_path, &body).expect("write bench metrics json");
+
+    let trace = fpdt_trace::sim_chrome_trace(report);
+    let trace_path = dir.join(format!("{name}.trace.json"));
+    fs::write(&trace_path, &trace).expect("write chrome trace json");
+
+    for (path, doc) in [(&metrics_path, &body), (&trace_path, &trace)] {
+        serde_json::from_str(doc)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        println!("BENCH_JSON_OK {}", path.display());
+    }
+}
+
+/// True when the benchmark was invoked with `--json`: suppress the
+/// human-readable tables and emit only machine-readable artifacts.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
 /// Renders a monotone byte series as an ASCII sparkline (for the memory
 /// timeline figure).
 pub fn sparkline(values: &[u64]) -> String {

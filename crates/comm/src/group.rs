@@ -1,8 +1,10 @@
 //! Group construction and point-to-point plumbing.
 
+use crate::stats::{CommStats, StatsCell};
 use crate::{CommError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// A tagged point-to-point message. Tags catch SPMD order violations early
 /// instead of silently mixing payloads from different collectives.
@@ -59,6 +61,7 @@ impl CommGroup {
                         .map(|r| r.take().expect("each receiver taken once"))
                         .collect(),
                     barrier: Arc::clone(&barrier),
+                    stats: StatsCell::default(),
                 })
             })
             .collect();
@@ -88,6 +91,7 @@ pub struct Communicator {
     senders: Vec<Sender<Message>>,
     receivers: Vec<Receiver<Message>>,
     barrier: Arc<Barrier>,
+    stats: StatsCell,
 }
 
 impl Communicator {
@@ -112,6 +116,7 @@ impl Communicator {
             rank: peer,
             world: self.world,
         })?;
+        self.stats.on_send(op, data.len());
         tx.send(Message { op, data })
             .map_err(|_| CommError::PeerDisconnected { peer })
     }
@@ -128,9 +133,11 @@ impl Communicator {
             rank: peer,
             world: self.world,
         })?;
+        let waited = Instant::now();
         let msg = rx
             .recv()
             .map_err(|_| CommError::PeerDisconnected { peer })?;
+        self.stats.on_recv(op, msg.data.len(), waited.elapsed());
         if msg.op != op {
             return Err(CommError::Desync {
                 local_op: op,
@@ -143,6 +150,11 @@ impl Communicator {
     /// Blocks until every rank in the group has reached the barrier.
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+
+    /// Snapshot of this rank's per-collective traffic counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats.snapshot()
     }
 }
 

@@ -36,10 +36,12 @@
 mod collectives;
 mod error;
 mod group;
+mod stats;
 
 pub use collectives::AllToAllLayout;
 pub use error::CommError;
 pub use group::{run_group, CommGroup, Communicator};
+pub use stats::{CommStats, OpStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,0 +1,140 @@
+//! Per-collective traffic counters.
+//!
+//! Every [`Communicator`](crate::Communicator) tallies, per collective tag
+//! (`"all_to_all"`, `"all_gather"`, ...), how many messages it sent and
+//! received, how many payload bytes moved each way, and how long its
+//! receives blocked. The counters answer the paper's accounting questions
+//! ("how much does the per-chunk all-to-all actually move?") without a
+//! profiler, and feed the `BENCH_*.json` metrics emitted by the bench
+//! binaries.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Accumulated traffic for one collective tag on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpStats {
+    /// Messages posted to peers (including self-sends).
+    pub sends: u64,
+    /// Messages drained from peers.
+    pub recvs: u64,
+    /// Payload bytes sent (`f32` elements x 4).
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Wall-clock time receives spent blocked.
+    pub recv_wait: Duration,
+}
+
+/// Snapshot of one rank's per-op counters, in first-use order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    /// `(op tag, counters)` pairs ordered by first use on this rank.
+    pub ops: Vec<(String, OpStats)>,
+}
+
+impl CommStats {
+    /// Counters for one collective tag, if it ever ran.
+    pub fn op(&self, op: &str) -> Option<&OpStats> {
+        self.ops.iter().find(|(name, _)| name == op).map(|(_, s)| s)
+    }
+
+    /// Total payload bytes sent across all collectives.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.bytes_sent).sum()
+    }
+
+    /// Total payload bytes received across all collectives.
+    pub fn total_bytes_recv(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.bytes_recv).sum()
+    }
+
+    /// Total wall-clock time receives spent blocked.
+    pub fn total_recv_wait(&self) -> Duration {
+        self.ops.iter().map(|(_, s)| s.recv_wait).sum()
+    }
+}
+
+/// Interior-mutable accumulator owned by each `Communicator`. Collectives
+/// take `&self`, so the counters sit behind a mutex; contention is nil
+/// (one owner thread per rank).
+#[derive(Debug, Default)]
+pub(crate) struct StatsCell {
+    // first-use order kept separately so snapshots are deterministic
+    order: Mutex<Vec<String>>,
+    ops: Mutex<HashMap<String, OpStats>>,
+}
+
+impl StatsCell {
+    pub(crate) fn on_send(&self, op: &str, elems: usize) {
+        self.with(op, |s| {
+            s.sends += 1;
+            s.bytes_sent += (elems * std::mem::size_of::<f32>()) as u64;
+        });
+    }
+
+    pub(crate) fn on_recv(&self, op: &str, elems: usize, waited: Duration) {
+        self.with(op, |s| {
+            s.recvs += 1;
+            s.bytes_recv += (elems * std::mem::size_of::<f32>()) as u64;
+            s.recv_wait += waited;
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> CommStats {
+        let order = self.order.lock().expect("stats order");
+        let ops = self.ops.lock().expect("stats table");
+        CommStats {
+            ops: order
+                .iter()
+                .map(|name| (name.clone(), ops[name]))
+                .collect(),
+        }
+    }
+
+    fn with(&self, op: &str, f: impl FnOnce(&mut OpStats)) {
+        let mut ops = self.ops.lock().expect("stats table");
+        if !ops.contains_key(op) {
+            self.order.lock().expect("stats order").push(op.to_string());
+            ops.insert(op.to_string(), OpStats::default());
+        }
+        f(ops.get_mut(op).expect("just inserted"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_group;
+
+    #[test]
+    fn all_gather_traffic_is_counted() {
+        let stats = run_group(4, |comm| {
+            comm.all_gather(&[1.0, 2.0, 3.0]);
+            comm.stats()
+        });
+        for s in &stats {
+            let ag = s.op("all_gather").expect("ran");
+            // 4 sends and 4 recvs of 3 floats each
+            assert_eq!(ag.sends, 4);
+            assert_eq!(ag.recvs, 4);
+            assert_eq!(ag.bytes_sent, 4 * 3 * 4);
+            assert_eq!(ag.bytes_recv, 4 * 3 * 4);
+            assert_eq!(s.total_bytes_sent(), 48);
+        }
+    }
+
+    #[test]
+    fn ops_are_tracked_separately_in_first_use_order() {
+        let stats = run_group(2, |comm| {
+            let _ = comm.all_reduce(&[0.0; 8]).unwrap();
+            let _ = comm.ring_exchange(vec![0.0; 2]).unwrap();
+            comm.stats()
+        });
+        let names: Vec<&str> = stats[0].ops.iter().map(|(n, _)| n.as_str()).collect();
+        // all_reduce is built on all_gather
+        assert_eq!(names, ["all_gather", "ring_exchange"]);
+        assert_eq!(stats[0].op("ring_exchange").unwrap().bytes_sent, 8);
+        assert!(stats[0].op("broadcast").is_none());
+    }
+}

@@ -95,6 +95,9 @@ pub struct PipelineReport {
     pub tasks: usize,
     /// Per-task execution records (stream, start, finish) for trace export.
     pub records: Vec<fpdt_sim::engine::TaskRecord>,
+    /// The full simulator report (streams, pools, records) — what
+    /// `fpdt-trace`'s Chrome exporter and schedule metrics consume.
+    pub sim: fpdt_sim::engine::SimReport,
 }
 
 struct GpuStreams {
@@ -533,6 +536,7 @@ pub fn simulate_block(
         timeline,
         tasks: eng.task_count(),
         records: report.task_records().to_vec(),
+        sim: report,
     })
 }
 
@@ -725,6 +729,7 @@ pub fn simulate_forward_layers(
                 ab.deps(&[qkv]);
                 let a2a_t = ab.submit()?;
                 let mut last = a2a_t;
+                #[allow(clippy::needless_range_loop)] // j names tasks and gates the diagonal, not just offloads
                 for j in 0..=i {
                     let mut deps = vec![a2a_t, last];
                     if opts.offload && j < i {

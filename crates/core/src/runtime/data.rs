@@ -157,9 +157,7 @@ impl CopyCorpus {
         let mut inputs = first.clone();
         inputs.extend_from_slice(&first);
         let mut targets = vec![Self::IGNORE; 2 * half];
-        for i in half - 1..2 * half - 1 {
-            targets[i] = inputs[i + 1];
-        }
+        targets[half - 1..2 * half - 1].copy_from_slice(&inputs[half..2 * half]);
         (inputs, targets)
     }
 }
@@ -178,8 +176,8 @@ mod copy_tests {
     #[test]
     fn targets_are_the_copy_and_first_half_is_masked() {
         let (x, y) = CopyCorpus::new(16, 1).sample(8);
-        for i in 0..7 {
-            assert_eq!(y[i], CopyCorpus::IGNORE, "position {i} masked");
+        for (i, &t) in y.iter().take(7).enumerate() {
+            assert_eq!(t, CopyCorpus::IGNORE, "position {i} masked");
         }
         for i in 7..15 {
             assert_eq!(y[i], x[i + 1 - 8], "copy target at {i}");

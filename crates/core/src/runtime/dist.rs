@@ -16,6 +16,7 @@ use crate::runtime::gpt::GptModel;
 use fpdt_comm::run_group;
 use fpdt_model::config::ModelConfig;
 use fpdt_tensor::nn::{AdamW, AdamWConfig};
+use fpdt_trace::Recorder;
 
 /// Which training mode to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +121,9 @@ pub struct TrainReport {
     /// Bytes of Adam moment state held by rank 0 — shrinks by `1/world`
     /// under ZeRO-1 sharding.
     pub opt_state_bytes: usize,
+    /// Rank 0's per-collective traffic counters (empty for
+    /// [`Mode::Single`]).
+    pub comm: fpdt_comm::CommStats,
 }
 
 fn training_loop(
@@ -197,6 +201,18 @@ fn training_loop(
 /// sequence not divisible by `world * chunks`) or internal errors — this
 /// is an experiment driver, not a library entry point.
 pub fn train(cfg: &TrainConfig) -> TrainReport {
+    train_traced(cfg, None)
+}
+
+/// [`train`] with wall-clock instrumentation: when a [`Recorder`] is
+/// given, every rank records spans for its per-chunk all-to-alls,
+/// attention chunks, host offload copies, and gradient all-reduces
+/// (export with [`Recorder::chrome_trace_json`]).
+///
+/// # Panics
+///
+/// Same conditions as [`train`].
+pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainReport {
     match cfg.mode {
         Mode::Single => {
             let mut exec = LocalAttention::new(1);
@@ -211,6 +227,7 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                 losses,
                 host: PoolStats::default(),
                 opt_state_bytes,
+                comm: fpdt_comm::CommStats::default(),
             }
         }
         Mode::Ulysses | Mode::Ring | Mode::Fpdt { .. } => {
@@ -240,7 +257,11 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                     ring_exec = RingAttentionExec::new(&comm, cfg.seq);
                     &mut ring_exec
                 } else {
-                    dist_exec = Some(DistAttention::new(&comm, plan, offload));
+                    let mut ex = DistAttention::new(&comm, plan, offload);
+                    if let Some(rec) = recorder {
+                        ex = ex.with_recorder(rec.clone());
+                    }
+                    dist_exec = Some(ex);
                     dist_exec.as_mut().expect("just set")
                 };
                 let rank = comm.rank();
@@ -253,9 +274,12 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                         const REDUCE_BUCKET: usize = 1 << 16;
                         let scalars = comm.all_reduce(&[ls, tok as f32]).expect("group alive");
                         let flat = model.collect_grads();
+                        let reduce_span = recorder
+                            .map(|r| r.span("allreduce.grads").bytes((flat.len() * 4) as u64));
                         let reduced = comm
                             .all_reduce_chunked(&flat, REDUCE_BUCKET)
                             .expect("group alive");
+                        drop(reduce_span);
                         let scale = 1.0 / scalars[1];
                         if cfg.zero_shard {
                             // ZeRO-1: this rank owns a contiguous slice of
@@ -284,13 +308,14 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
                         .map(|e| e.host_stats())
                         .unwrap_or_default(),
                 };
-                (losses, host, opt_bytes)
+                (losses, host, opt_bytes, comm.stats())
             });
-            let (losses, host, opt_state_bytes) = results.remove(0);
+            let (losses, host, opt_state_bytes, comm) = results.remove(0);
             TrainReport {
                 losses,
                 host,
                 opt_state_bytes,
+                comm,
             }
         }
     }
@@ -387,6 +412,38 @@ mod tests {
         let a = train(&cfg);
         let b = train(&cfg);
         assert_eq!(a.losses, b.losses);
+    }
+
+    #[test]
+    fn traced_training_records_spans_and_comm_traffic() {
+        let cfg = TrainConfig {
+            steps: 2,
+            mode: Mode::Fpdt {
+                chunks: 2,
+                offload: true,
+            },
+            ..TrainConfig::small(Mode::Single)
+        };
+        let rec = Recorder::new();
+        let r = train_traced(&cfg, Some(&rec));
+        // Tracing must not perturb the trajectory.
+        assert_eq!(r.losses, train(&cfg).losses);
+        // Every instrumented phase shows up.
+        for prefix in ["a2a.", "attn.fwd.", "attn.bwd.", "offload.", "allreduce."] {
+            assert!(rec.total_us(prefix) >= 0.0);
+            assert!(
+                rec.records().iter().any(|s| s.label.starts_with(prefix)),
+                "no {prefix} spans"
+            );
+        }
+        // The trace exports and mentions both ranks' threads.
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains("\"allreduce.grads\""));
+        // Comm counters saw the gradient all-reduce and the per-chunk
+        // all-to-alls.
+        assert!(r.comm.op("all_gather").is_some(), "{:?}", r.comm);
+        assert!(r.comm.op("all_to_all").is_some());
+        assert!(r.comm.total_bytes_sent() > 0);
     }
 
     #[test]

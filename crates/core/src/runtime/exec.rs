@@ -18,6 +18,7 @@ use fpdt_attention::online::{attention_block_bwd, rowwise_dot, OnlineAttention};
 use fpdt_attention::{chunked, default_scale};
 use fpdt_comm::{AllToAllLayout, Communicator};
 use fpdt_tensor::Tensor;
+use fpdt_trace::{Recorder, Span};
 use std::collections::HashMap;
 
 /// Executor result type (tensor and communication errors both occur).
@@ -142,6 +143,7 @@ pub struct DistAttention<'c> {
     offload: bool,
     host: HostPool,
     device: HashMap<ChunkKey, Tensor>,
+    recorder: Option<Recorder>,
 }
 
 impl<'c> DistAttention<'c> {
@@ -153,7 +155,16 @@ impl<'c> DistAttention<'c> {
             offload,
             host: HostPool::new(),
             device: HashMap::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a span recorder: every all-to-all, attention-chunk
+    /// computation, and host offload copy records a wall-clock span.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Host-pool transfer statistics (zero when `offload` is off).
@@ -161,7 +172,18 @@ impl<'c> DistAttention<'c> {
         self.host.stats()
     }
 
+    fn span(&self, label: &str, elems: usize) -> Option<Span> {
+        self.recorder
+            .as_ref()
+            .map(|r| r.span(label).bytes((elems * 4) as u64))
+    }
+
     fn put(&mut self, key: ChunkKey, t: Tensor) {
+        let _s = if self.offload {
+            self.span("offload.put", t.data().len())
+        } else {
+            None
+        };
         if self.offload {
             self.host.offload(key, t);
         } else {
@@ -170,6 +192,11 @@ impl<'c> DistAttention<'c> {
     }
 
     fn take(&mut self, key: ChunkKey) -> ExecResult<Tensor> {
+        let _s = if self.offload {
+            self.span("offload.fetch", 0)
+        } else {
+            None
+        };
         let t = if self.offload {
             self.host.fetch(&key)
         } else {
@@ -188,10 +215,12 @@ impl<'c> DistAttention<'c> {
     }
 
     fn a2a_fwd(&self, t: &Tensor) -> ExecResult<Tensor> {
+        let _s = self.span("a2a.scatter_heads", t.data().len());
         AllToAllLayout::scatter_heads_gather_seq(self.comm, t)
     }
 
     fn a2a_inv(&self, t: &Tensor) -> ExecResult<Tensor> {
+        let _s = self.span("a2a.gather_heads", t.data().len());
         AllToAllLayout::scatter_seq_gather_heads(self.comm, t)
     }
 }
@@ -217,6 +246,7 @@ impl AttentionExec for DistAttention<'_> {
             let kh = self.a2a_fwd(&k.narrow(0, range.start, c_loc)?)?;
             let vh = self.a2a_fwd(&v.narrow(0, range.start, c_loc)?)?;
             let gpos = self.plan.gathered_positions(i);
+            let attn_span = self.span("attn.fwd.chunk", qh.data().len());
             let mut st = OnlineAttention::new(&qh, &gpos, None)?;
             // Stream previously cached KV chunks from host memory.
             for j in 0..i {
@@ -226,6 +256,7 @@ impl AttentionExec for DistAttention<'_> {
             }
             st.update(&kh, &vh, &gpos)?;
             let (oi, lse) = st.finalize();
+            drop(attn_span);
             // Cache everything backward needs.
             self.put(ChunkKey::new(layer, BufKind::Q, i), qh);
             self.put(ChunkKey::new(layer, BufKind::K, i), kh);
@@ -298,6 +329,7 @@ impl AttentionExec for DistAttention<'_> {
                     let _ = self.take(ChunkKey::new(layer, BufKind::O, i))?;
                 }
                 let mut dq_i = self.take(ChunkKey::new(layer, BufKind::DQ, i))?;
+                let _tile = self.span("attn.bwd.tile", qi.data().len());
                 attention_block_bwd(
                     &qi,
                     &kj,

@@ -17,4 +17,4 @@ pub mod dist;
 pub mod exec;
 pub mod gpt;
 
-pub use dist::{train, Mode, TrainConfig, TrainReport};
+pub use dist::{train, train_traced, Mode, TrainConfig, TrainReport};

@@ -1,0 +1,207 @@
+//! Golden-schedule regression tests for the FPDT pipeline simulator.
+//!
+//! A small fixed (model, cluster, sequence) is simulated at every corner
+//! of the `PipelineOpts` ablation grid — offload x double_buffer x
+//! copy_streams {0,1,2} x both backward nest orders — and the full event
+//! log (task order, stream assignment, start/finish to 1e-9 s) is
+//! digested and compared against `tests/golden/schedules.txt`.
+//!
+//! Any change to task emission order, dependency structure, stream
+//! routing, the cost model, or the processor-sharing engine shows up as a
+//! digest mismatch. To bless an intentional change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p fpdt-core --test golden_schedule
+//! ```
+//!
+//! and commit the rewritten golden file with a note on what moved.
+
+use fpdt_core::pipeline::{simulate_block, NestOrder, PipelineOpts, PipelineReport};
+use fpdt_model::config::ModelConfig;
+use fpdt_sim::hw::ClusterSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const CHUNKS: usize = 3;
+const SEQ: u64 = 12 * 1024;
+
+fn fixture() -> (ModelConfig, ClusterSpec) {
+    (ModelConfig::tiny(2, 64, 4, 64), ClusterSpec::a100_80g(1, 2))
+}
+
+fn corners() -> Vec<(String, PipelineOpts)> {
+    let mut out = Vec::new();
+    for offload in [false, true] {
+        for double_buffer in [false, true] {
+            for copy_streams in [0u8, 1, 2] {
+                for nest in [NestOrder::KvOuter, NestOrder::QOuter] {
+                    let key = format!(
+                        "off{}_db{}_cs{}_{}",
+                        offload as u8,
+                        double_buffer as u8,
+                        copy_streams,
+                        match nest {
+                            NestOrder::KvOuter => "kv",
+                            NestOrder::QOuter => "q",
+                        }
+                    );
+                    out.push((
+                        key,
+                        PipelineOpts {
+                            chunks: CHUNKS,
+                            offload,
+                            double_buffer,
+                            copy_streams,
+                            nest,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn run_corner(opts: PipelineOpts) -> PipelineReport {
+    let (model, cluster) = fixture();
+    simulate_block(&model, &cluster, SEQ, opts).expect("simulation runs")
+}
+
+/// Canonical event-log serialization: execution order, stream, times to
+/// nanosecond resolution, plus the makespan.
+fn canonical(rep: &PipelineReport) -> String {
+    let mut s = String::new();
+    for r in rep.sim.task_records() {
+        writeln!(s, "{}|{}|{:.9}|{:.9}", r.name, r.stream, r.start, r.finish).unwrap();
+    }
+    writeln!(s, "makespan|{:.9}", rep.sim.makespan).unwrap();
+    s
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/schedules.txt")
+}
+
+#[test]
+fn schedules_match_golden_digests() {
+    let mut lines = Vec::new();
+    for (key, opts) in corners() {
+        let rep = run_corner(opts);
+        lines.push(format!(
+            "{key} {:016x} {:.9}",
+            fnv1a(&canonical(&rep)),
+            rep.sim.makespan
+        ));
+    }
+    let body = lines.join("\n") + "\n";
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &body).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with GOLDEN_REGEN=1 to create it", path.display()));
+    if body != want {
+        for (got, exp) in body.lines().zip(want.lines()) {
+            if got != exp {
+                eprintln!("golden mismatch:\n  expected {exp}\n  actual   {got}");
+            }
+        }
+        panic!(
+            "simulated schedules diverged from tests/golden/schedules.txt; \
+             if intentional, regenerate with GOLDEN_REGEN=1"
+        );
+    }
+}
+
+#[test]
+fn kv_outer_issues_u_kv_fetches_q_outer_quadratically_many() {
+    let u = CHUNKS;
+    let paper = PipelineOpts {
+        chunks: u,
+        offload: true,
+        double_buffer: true,
+        copy_streams: 2,
+        nest: NestOrder::KvOuter,
+    };
+    let kv = run_corner(paper);
+    let q = run_corner(PipelineOpts {
+        nest: NestOrder::QOuter,
+        ..paper
+    });
+    let count = |rep: &PipelineReport, prefix: &str| {
+        rep.sim
+            .task_records()
+            .iter()
+            .filter(|r| r.name.starts_with(prefix))
+            .count()
+    };
+    // Per GPU: the paper's Figure-7 order fetches each KV chunk once...
+    let gpus = 2;
+    assert_eq!(count(&kv, "bwd.fetch_kv."), gpus * u);
+    assert_eq!(count(&kv, "bwd.qouter."), 0);
+    // ...while the flipped nesting refetches the KV chunk in every inner
+    // iteration: u(u+1)/2 of them (the §4.2 traffic blow-up).
+    assert_eq!(count(&q, "bwd.qouter.fetch_kv_acc."), gpus * u * (u + 1) / 2);
+    assert_eq!(count(&q, "bwd.fetch_kv."), 0);
+}
+
+#[test]
+fn double_buffering_never_increases_makespan() {
+    for (key, opts) in corners() {
+        if !opts.double_buffer {
+            continue;
+        }
+        let db = run_corner(opts);
+        let serial = run_corner(PipelineOpts {
+            double_buffer: false,
+            ..opts
+        });
+        assert!(
+            db.sim.makespan <= serial.sim.makespan + 1e-9,
+            "{key}: double-buffered {} > serialized {}",
+            db.sim.makespan,
+            serial.sim.makespan
+        );
+    }
+}
+
+#[test]
+fn stream_assignment_follows_copy_stream_knob() {
+    let base = PipelineOpts {
+        chunks: CHUNKS,
+        offload: true,
+        double_buffer: true,
+        copy_streams: 2,
+        nest: NestOrder::KvOuter,
+    };
+    let three = run_corner(base);
+    assert!(three.sim.streams().contains(&"gpu0.h2d".to_string()));
+    assert!(three.sim.streams().contains(&"gpu0.d2h".to_string()));
+    let shared = run_corner(PipelineOpts {
+        copy_streams: 1,
+        ..base
+    });
+    assert!(shared.sim.streams().contains(&"gpu0.copy".to_string()));
+    let fused = run_corner(PipelineOpts {
+        copy_streams: 0,
+        ..base
+    });
+    // every transfer rides the compute stream
+    assert!(fused
+        .sim
+        .task_records()
+        .iter()
+        .all(|r| r.stream.ends_with(".compute")));
+}

@@ -127,6 +127,32 @@ impl<'e> TaskBuilder<'e> {
     }
 }
 
+/// The kind of work an executed task performed, for trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A fixed-duration kernel on its stream.
+    Compute,
+    /// A byte move over a shared resource.
+    Transfer,
+    /// A zero-duration synchronization point.
+    Event,
+}
+
+/// One constant-rate slice of a transfer's fair-share bandwidth: between
+/// [`from`](BwShare::from) and [`until`](BwShare::until) the transfer moved
+/// bytes at exactly [`rate`](BwShare::rate). The engine re-splits resource
+/// bandwidth whenever any transfer starts or ends, so a contended copy's
+/// timeline is a sequence of these slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BwShare {
+    /// Interval start, seconds.
+    pub from: f64,
+    /// Interval end, seconds.
+    pub until: f64,
+    /// Bandwidth granted during the interval, bytes/s.
+    pub rate: f64,
+}
+
 /// One executed task, for timeline/trace export.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskRecord {
@@ -138,6 +164,68 @@ pub struct TaskRecord {
     pub start: f64,
     /// Finish time, seconds.
     pub finish: f64,
+    /// What the task did.
+    pub kind: TaskKind,
+    /// Payload size for transfers, `None` otherwise.
+    pub bytes: Option<u64>,
+    /// Resource name the bytes flowed through, `None` for non-transfers.
+    pub resource: Option<String>,
+    /// Fair-share bandwidth timeline for transfers (adjacent equal-rate
+    /// slices coalesced). Empty for non-transfers.
+    pub shares: Vec<BwShare>,
+}
+
+impl TaskRecord {
+    /// A compute record with no transfer detail — convenient for building
+    /// synthetic event logs in tests and tools.
+    pub fn compute(name: &str, stream: &str, start: f64, finish: f64) -> Self {
+        TaskRecord {
+            name: name.to_string(),
+            stream: stream.to_string(),
+            start,
+            finish,
+            kind: TaskKind::Compute,
+            bytes: None,
+            resource: None,
+            shares: Vec::new(),
+        }
+    }
+
+    /// A transfer record moving `bytes` over `resource` at a single
+    /// constant rate implied by the duration.
+    pub fn transfer(
+        name: &str,
+        stream: &str,
+        start: f64,
+        finish: f64,
+        bytes: u64,
+        resource: &str,
+    ) -> Self {
+        let rate = if finish > start {
+            bytes as f64 / (finish - start)
+        } else {
+            0.0
+        };
+        TaskRecord {
+            name: name.to_string(),
+            stream: stream.to_string(),
+            start,
+            finish,
+            kind: TaskKind::Transfer,
+            bytes: Some(bytes),
+            resource: Some(resource.to_string()),
+            shares: vec![BwShare {
+                from: start,
+                until: finish,
+                rate,
+            }],
+        }
+    }
+
+    /// Task duration in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.finish - self.start).max(0.0)
+    }
 }
 
 /// The result of a simulation run.
@@ -150,6 +238,7 @@ pub struct SimReport {
     pub pools: PoolSet,
     names: HashMap<usize, String>,
     records: Vec<TaskRecord>,
+    streams: Vec<String>,
 }
 
 impl SimReport {
@@ -192,6 +281,12 @@ impl SimReport {
     /// the raw material for Gantt charts and Chrome traces.
     pub fn task_records(&self) -> &[TaskRecord] {
         &self.records
+    }
+
+    /// Stream names in registration order — gives trace exporters a stable
+    /// track ordering independent of which streams happened to run tasks.
+    pub fn streams(&self) -> &[String] {
+        &self.streams
     }
 }
 
@@ -333,6 +428,8 @@ impl Engine {
         let mut running: Vec<Running> = Vec::new();
         let mut completed = 0usize;
         let mut now = 0.0f64;
+        // Per-task fair-share bandwidth history (transfers only).
+        let mut shares: Vec<Vec<BwShare>> = vec![Vec::new(); n];
 
         let dep_ready = |done: &[bool], t: &Task| t.deps.iter().all(|d| done[d.0]);
 
@@ -434,7 +531,22 @@ impl Engine {
                         }
                     }
                     Some(res) => {
-                        r.remaining -= rate(res) * dt;
+                        let rate = rate(res);
+                        if dt > 0.0 {
+                            // Extend the share timeline, coalescing with the
+                            // previous slice when the rate is unchanged.
+                            match shares[r.task].last_mut() {
+                                Some(last) if (last.rate - rate).abs() <= 1e-9 * rate => {
+                                    last.until = now;
+                                }
+                                _ => shares[r.task].push(BwShare {
+                                    from: now - dt,
+                                    until: now,
+                                    rate,
+                                }),
+                            }
+                        }
+                        r.remaining -= rate * dt;
                         if r.remaining <= 1e-9 {
                             finished.push(r.task);
                         }
@@ -472,11 +584,27 @@ impl Engine {
         let records = self
             .tasks
             .iter()
-            .map(|t| TaskRecord {
-                name: t.name.clone(),
-                stream: self.streams[t.stream.0].clone(),
-                start: t.start,
-                finish: t.finish,
+            .zip(shares)
+            .map(|(t, shares)| {
+                let (kind, bytes, resource) = match t.work {
+                    Work::Compute { .. } => (TaskKind::Compute, None, None),
+                    Work::Event => (TaskKind::Event, None, None),
+                    Work::Transfer { bytes, resource } => (
+                        TaskKind::Transfer,
+                        Some(bytes),
+                        Some(self.resources[resource.0].0.clone()),
+                    ),
+                };
+                TaskRecord {
+                    name: t.name.clone(),
+                    stream: self.streams[t.stream.0].clone(),
+                    start: t.start,
+                    finish: t.finish,
+                    kind,
+                    bytes,
+                    resource,
+                    shares,
+                }
             })
             .collect();
         Ok(SimReport {
@@ -485,6 +613,7 @@ impl Engine {
             pools,
             names,
             records,
+            streams: self.streams.clone(),
         })
     }
 }
@@ -764,6 +893,105 @@ impl SimReport {
             .map(|r| (r.finish - r.start).max(0.0))
             .sum();
         busy / self.makespan
+    }
+}
+
+#[cfg(test)]
+mod record_tests {
+    use super::*;
+
+    #[test]
+    fn records_carry_work_detail() {
+        let mut e = Engine::new();
+        let c = e.add_stream("compute");
+        let h = e.add_stream("h2d");
+        let pcie = e.add_resource("pcie.h2d", 10.0, 0.0);
+        e.add_task("k", c, Work::Compute { seconds: 1.0 }).unwrap();
+        e.add_task(
+            "x",
+            h,
+            Work::Transfer {
+                bytes: 20,
+                resource: pcie,
+            },
+        )
+        .unwrap();
+        let r = e.run().unwrap();
+        let k = &r.task_records()[0];
+        assert_eq!(k.kind, TaskKind::Compute);
+        assert_eq!((k.bytes, k.resource.as_deref()), (None, None));
+        assert!(k.shares.is_empty());
+        let x = &r.task_records()[1];
+        assert_eq!(x.kind, TaskKind::Transfer);
+        assert_eq!(x.bytes, Some(20));
+        assert_eq!(x.resource.as_deref(), Some("pcie.h2d"));
+        // Uncontended: one coalesced slice at full bandwidth.
+        assert_eq!(x.shares.len(), 1);
+        assert!((x.shares[0].rate - 10.0).abs() < 1e-9);
+        assert!((x.shares[0].from - x.start).abs() < 1e-12);
+        assert!((x.shares[0].until - x.finish).abs() < 1e-12);
+        assert_eq!(r.streams(), ["compute".to_string(), "h2d".to_string()]);
+    }
+
+    #[test]
+    fn shares_split_under_contention() {
+        // Same staggered scenario as `staggered_transfers_rebalance`:
+        // a runs alone at 10 B/s for 0.5s, shares 5 B/s until t=1.5;
+        // b shares 5 B/s until a ends, then finishes alone at 10 B/s.
+        let mut e = Engine::new();
+        let s1 = e.add_stream("g0.h2d");
+        let s2 = e.add_stream("g1.h2d");
+        let s2b = e.add_stream("g1.pre");
+        let pcie = e.add_resource("pcie", 10.0, 0.0);
+        e.add_task(
+            "a",
+            s1,
+            Work::Transfer {
+                bytes: 10,
+                resource: pcie,
+            },
+        )
+        .unwrap();
+        let delay = e
+            .add_task("delay", s2b, Work::Compute { seconds: 0.5 })
+            .unwrap();
+        let mut bb = e.task(
+            "b",
+            s2,
+            Work::Transfer {
+                bytes: 10,
+                resource: pcie,
+            },
+        );
+        bb.deps(&[delay]);
+        bb.submit().unwrap();
+        let r = e.run().unwrap();
+        let a = &r.task_records()[0];
+        let b = &r.task_records()[2];
+        let slices =
+            |rec: &TaskRecord| -> Vec<(f64, f64, f64)> {
+                rec.shares.iter().map(|s| (s.from, s.until, s.rate)).collect()
+            };
+        let close = |got: &[(f64, f64, f64)], want: &[(f64, f64, f64)]| {
+            assert_eq!(got.len(), want.len(), "{got:?} vs {want:?}");
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g.0 - w.0).abs() < 1e-9 && (g.1 - w.1).abs() < 1e-9 && (g.2 - w.2).abs() < 1e-9,
+                    "{got:?} vs {want:?}"
+                );
+            }
+        };
+        close(&slices(a), &[(0.0, 0.5, 10.0), (0.5, 1.5, 5.0)]);
+        close(&slices(b), &[(0.5, 1.5, 5.0), (1.5, 2.0, 10.0)]);
+        // Bytes moved per the share timeline equal the payload.
+        for rec in [a, b] {
+            let moved: f64 = rec
+                .shares
+                .iter()
+                .map(|s| (s.until - s.from) * s.rate)
+                .sum();
+            assert!((moved - 10.0).abs() < 1e-6, "moved {moved}");
+        }
     }
 }
 

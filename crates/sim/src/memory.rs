@@ -216,6 +216,12 @@ impl PoolSet {
     pub fn name(&self, id: PoolId) -> Option<&str> {
         self.pools.get(id.0).map(|p| p.name.as_str())
     }
+
+    /// All pool ids in registration order, for trace/metric exporters that
+    /// walk every pool.
+    pub fn ids(&self) -> Vec<PoolId> {
+        (0..self.pools.len()).map(PoolId).collect()
+    }
 }
 
 #[cfg(test)]

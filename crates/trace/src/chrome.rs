@@ -1,0 +1,214 @@
+//! Chrome `trace_event` export: turn a [`SimReport`] into a JSON document
+//! that Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` renders
+//! as a per-stream timeline with memory and bandwidth counter tracks.
+//!
+//! Layout:
+//! * pid 0, one tid per simulated stream (registration order) — task
+//!   boxes (`ph: "X"`), with byte/resource detail in `args`;
+//!   zero-duration `Event` tasks become instant markers (`ph: "i"`).
+//! * counter tracks (`ph: "C"`): one per memory pool (live bytes over
+//!   time) and one per shared resource (aggregate allocated bandwidth).
+//!
+//! Times are exported in microseconds, the unit the format expects.
+
+use crate::json::{esc, num};
+use fpdt_sim::engine::{SimReport, TaskKind};
+
+const US: f64 = 1e6;
+
+/// Renders a full simulator report as a Chrome-trace JSON document.
+pub fn sim_chrome_trace(report: &SimReport) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"fpdt-sim\"}}"
+            .to_string(),
+    );
+    for (tid, stream) in report.streams().iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            esc(stream)
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+
+    let tid_of = |stream: &str| -> usize {
+        report
+            .streams()
+            .iter()
+            .position(|s| s == stream)
+            .unwrap_or(0)
+    };
+
+    for r in report.task_records() {
+        let tid = tid_of(&r.stream);
+        let cat = r.name.split('.').next().unwrap_or("task");
+        let ts = num(r.start * US);
+        match r.kind {
+            TaskKind::Event => {
+                events.push(format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{tid}}}",
+                    esc(&r.name),
+                    esc(cat)
+                ));
+            }
+            TaskKind::Compute | TaskKind::Transfer => {
+                let mut args = vec![format!("\"kind\":{}", esc(kind_str(r.kind)))];
+                if let Some(b) = r.bytes {
+                    args.push(format!("\"bytes\":{b}"));
+                }
+                if let Some(res) = &r.resource {
+                    args.push(format!("\"resource\":{}", esc(res)));
+                }
+                if !r.shares.is_empty() {
+                    let mean = r.bytes.unwrap_or(0) as f64 / r.duration().max(1e-12);
+                    args.push(format!("\"mean_bytes_per_s\":{}", num(mean)));
+                    args.push(format!("\"bw_slices\":{}", r.shares.len()));
+                }
+                events.push(format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{{}}}}}",
+                    esc(&r.name),
+                    esc(cat),
+                    num(r.duration() * US),
+                    args.join(",")
+                ));
+            }
+        }
+    }
+
+    pool_counters(report, &mut events);
+    bandwidth_counters(report, &mut events);
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",\n")
+    )
+}
+
+fn kind_str(k: TaskKind) -> &'static str {
+    match k {
+        TaskKind::Compute => "compute",
+        TaskKind::Transfer => "transfer",
+        TaskKind::Event => "event",
+    }
+}
+
+/// One counter track per memory pool: live bytes after every alloc/free.
+fn pool_counters(report: &SimReport, events: &mut Vec<String>) {
+    for id in report.pools.ids() {
+        let name = report.pools.name(id).unwrap_or("pool").to_string();
+        let Ok(timeline) = report.pools.timeline(id) else {
+            continue;
+        };
+        // Anchor the counter at zero so the track renders from t=0.
+        events.push(counter(&name, 0.0, "bytes", "0"));
+        for ev in timeline {
+            events.push(counter(&name, ev.time, "bytes", &ev.usage.to_string()));
+        }
+    }
+}
+
+/// One counter track per shared resource: the sum of fair-share rates of
+/// all in-flight transfers, stepped at every re-split boundary.
+fn bandwidth_counters(report: &SimReport, events: &mut Vec<String>) {
+    let mut resources: Vec<String> = Vec::new();
+    for r in report.task_records() {
+        if let Some(res) = &r.resource {
+            if !resources.contains(res) {
+                resources.push(res.clone());
+            }
+        }
+    }
+    for res in resources {
+        // (time, rate delta) at every slice boundary of every transfer.
+        let mut deltas: Vec<(f64, f64)> = Vec::new();
+        for r in report.task_records() {
+            if r.resource.as_deref() != Some(res.as_str()) {
+                continue;
+            }
+            for s in &r.shares {
+                deltas.push((s.from, s.rate));
+                deltas.push((s.until, -s.rate));
+            }
+        }
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let track = format!("{res} bw");
+        events.push(counter(&track, 0.0, "bytes_per_s", "0"));
+        let mut level = 0.0f64;
+        let mut i = 0usize;
+        while i < deltas.len() {
+            let t = deltas[i].0;
+            while i < deltas.len() && deltas[i].0 == t {
+                level += deltas[i].1;
+                i += 1;
+            }
+            events.push(counter(&track, t, "bytes_per_s", &num(level.max(0.0))));
+        }
+    }
+}
+
+fn counter(track: &str, time: f64, series: &str, value: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\
+         \"args\":{{\"{series}\":{value}}}}}",
+        esc(track),
+        num(time * US)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdt_sim::engine::{Engine, Work};
+
+    fn small_report() -> SimReport {
+        let mut e = Engine::new();
+        let c = e.add_stream("gpu0.compute");
+        let h = e.add_stream("gpu0.h2d");
+        let pcie = e.add_resource("pcie.h2d", 100.0, 0.0);
+        let hbm = e.add_pool("hbm0", Some(1000));
+        let f = e
+            .add_task(
+                "fwd.fetch.0",
+                h,
+                Work::Transfer {
+                    bytes: 100,
+                    resource: pcie,
+                },
+            )
+            .unwrap();
+        let mut b = e.task("fwd.attn.0", c, Work::Compute { seconds: 2.0 });
+        b.deps(&[f]).alloc(hbm, 64, "kv").free(hbm, 64);
+        b.submit().unwrap();
+        e.add_task("fwd.done", c, Work::Event).unwrap();
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn trace_has_thread_names_tasks_and_counters() {
+        let trace = sim_chrome_trace(&small_report());
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"gpu0.h2d\""));
+        assert!(trace.contains("\"fwd.attn.0\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""), "event task becomes instant");
+        assert!(trace.contains("\"hbm0\""));
+        assert!(trace.contains("pcie.h2d bw"));
+        assert!(trace.contains("\"resource\":\"pcie.h2d\""));
+        assert!(trace.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let trace = sim_chrome_trace(&small_report());
+        // The 2-second compute task must appear as dur 2_000_000 µs.
+        assert!(trace.contains("\"dur\":2000000.0"), "{trace}");
+    }
+}

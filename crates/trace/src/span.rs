@@ -1,0 +1,234 @@
+//! Wall-clock spans for the real (thread-based) runtime: a lightweight
+//! RAII API in the spirit of tracing's spans, recording into a shared
+//! buffer that exports to the same Chrome-trace format as the simulator.
+//!
+//! ```
+//! use fpdt_trace::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _s = rec.span("attn.chunk").bytes(1 << 20);
+//!     // ... work ...
+//! } // recorded on drop
+//! assert_eq!(rec.records().len(), 1);
+//! ```
+
+use crate::json::{esc, num};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span label, dotted by convention (`"a2a.fwd"`, `"offload.fetch"`).
+    pub label: String,
+    /// Small integer identifying the recording thread.
+    pub tid: u64,
+    /// Start offset from the recorder's epoch, microseconds.
+    pub start_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Optional payload size attached with [`Span::bytes`].
+    pub bytes: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    threads: Mutex<HashMap<ThreadId, u64>>,
+}
+
+/// A shared, thread-safe span sink. Cloning is cheap and clones record
+/// into the same buffer, so one recorder can be handed to every rank.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder; its epoch (t=0) is the moment of creation.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                threads: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Opens a span; it is recorded when the returned guard drops.
+    pub fn span(&self, label: &str) -> Span {
+        Span {
+            recorder: self.clone(),
+            label: label.to_string(),
+            bytes: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a span directly (for callers that already measured).
+    pub fn record(&self, label: &str, start_us: f64, dur_us: f64, bytes: Option<u64>) {
+        let tid = self.tid();
+        self.inner.spans.lock().expect("span buffer").push(SpanRecord {
+            label: label.to_string(),
+            tid,
+            start_us,
+            dur_us,
+            bytes,
+        });
+    }
+
+    /// Microseconds elapsed since the recorder's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().expect("span buffer").clone()
+    }
+
+    /// Renders the recorded spans as a Chrome-trace JSON document
+    /// (pid 1 = "fpdt-runtime", one tid per recording thread).
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.records();
+        let mut events: Vec<String> = vec![
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"fpdt-runtime\"}}"
+                .to_string(),
+        ];
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"rank{tid}\"}}}}"
+            ));
+        }
+        for s in &spans {
+            let args = match s.bytes {
+                Some(b) => format!("{{\"bytes\":{b}}}"),
+                None => "{}".to_string(),
+            };
+            events.push(format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{}}}",
+                esc(&s.label),
+                esc(s.label.split('.').next().unwrap_or("span")),
+                num(s.start_us),
+                num(s.dur_us),
+                s.tid,
+                args
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}",
+            events.join(",\n")
+        )
+    }
+
+    /// Total duration recorded under labels starting with `prefix`, µs.
+    pub fn total_us(&self, prefix: &str) -> f64 {
+        self.records()
+            .iter()
+            .filter(|s| s.label.starts_with(prefix))
+            .map(|s| s.dur_us)
+            .sum()
+    }
+
+    fn tid(&self) -> u64 {
+        let mut threads = self.inner.threads.lock().expect("thread table");
+        let next = threads.len() as u64;
+        *threads.entry(std::thread::current().id()).or_insert(next)
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    recorder: Recorder,
+    label: String,
+    bytes: Option<u64>,
+    started: Instant,
+}
+
+impl Span {
+    /// Attaches a payload size to the span (e.g. collective bytes).
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = Some(bytes);
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let start_us = self
+            .started
+            .duration_since(self.recorder.inner.epoch)
+            .as_secs_f64()
+            * 1e6;
+        let dur_us = self.started.elapsed().as_secs_f64() * 1e6;
+        self.recorder
+            .record(&self.label, start_us, dur_us, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.span("a2a.fwd").bytes(4096);
+            let _b = rec.span("attn.chunk");
+        }
+        let mut labels: Vec<String> = rec.records().into_iter().map(|s| s.label).collect();
+        labels.sort();
+        assert_eq!(labels, ["a2a.fwd", "attn.chunk"]);
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains("\"a2a.fwd\""));
+        assert!(trace.contains("\"bytes\":4096"));
+    }
+
+    #[test]
+    fn clones_share_one_buffer_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let r = rec.clone();
+                s.spawn(move || {
+                    let _sp = r.span(&format!("rank{i}.step"));
+                });
+            }
+        });
+        let recs = rec.records();
+        assert_eq!(recs.len(), 4);
+        // Threads got distinct tids.
+        let mut tids: Vec<u64> = recs.iter().map(|r| r.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn totals_by_prefix() {
+        let rec = Recorder::new();
+        rec.record("offload.put", 0.0, 10.0, None);
+        rec.record("offload.fetch", 10.0, 5.0, None);
+        rec.record("attn.chunk", 0.0, 100.0, None);
+        assert!((rec.total_us("offload.") - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate for the FPDT reproduction: build, test, lint, and a JSON smoke
+# check on the benchmark artifact pipeline. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> figure11 --json smoke (BENCH_ artifacts must parse)"
+out=$(cargo run -q --release -p fpdt-bench --bin figure11 -- --json)
+echo "$out"
+# emit_bench_artifacts re-parses every artifact it writes and prints one
+# BENCH_JSON_OK line per file; both the metrics doc and the Chrome trace
+# must make it through.
+if [ "$(grep -c '^BENCH_JSON_OK ' <<<"$out")" -lt 2 ]; then
+    echo "FAIL: figure11 --json did not validate its BENCH_ artifacts" >&2
+    exit 1
+fi
+
+echo "CI OK"

@@ -47,6 +47,7 @@ fn table1_grid_is_monotone_in_both_axes() {
         assert!(row[4] <= row[5] && row[5] <= row[6] && row[6] <= row[7], "80G row {row:?}");
     }
     // monotone (non-increasing) down each column as models grow
+    #[allow(clippy::needless_range_loop)] // c walks a column across two grid rows at once
     for c in 0..configs.len() {
         for m in 1..models.len() {
             assert!(

@@ -1,0 +1,172 @@
+//! Offline stand-in for the slice of the `rand` 0.8 API this workspace
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] sampling helpers (`gen_range`, `gen_bool`).
+//!
+//! The generator is a splitmix64-seeded xoshiro256++, fully deterministic
+//! across platforms and runs — a property the workspace's determinism
+//! test suite depends on.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_uniform(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: core::ops::Range<Self>,
+            ) -> Self {
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: core::ops::Range<Self>,
+            ) -> Self {
+                // Rejection-sample the rare rounding case where the scaled
+                // value lands exactly on the (exclusive) upper bound.
+                loop {
+                    let u = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                    let v = range.start as f64 + u * (range.end as f64 - range.start as f64);
+                    let v = v as $t;
+                    if v < range.end {
+                        return if v < range.start { range.start } else { v };
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 stream to expand the seed into the full state.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let f = r.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Sequential offline stand-in for the rayon APIs this workspace uses.
+//!
+//! Kernels call `par_chunks_mut` and then drive the result with plain
+//! `Iterator` combinators (`zip`, `enumerate`, `for_each`), so mapping the
+//! parallel entry points onto their `std` sequential equivalents keeps
+//! every call site compiling unchanged — and makes the "parallel" kernels
+//! bit-deterministic, which the test suite exploits.
+
+/// The rayon prelude: parallel-slice extension traits.
+pub mod prelude {
+    /// Parallel chunking over mutable slices (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Chunks of at most `chunk` elements, in order.
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk)
+        }
+    }
+
+    /// Parallel chunking over shared slices (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Chunks of at most `chunk` elements, in order.
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk)
+        }
+    }
+}

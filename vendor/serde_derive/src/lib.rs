@@ -1,0 +1,216 @@
+//! Derive macros for the vendored serde stub, written against raw
+//! `proc_macro` token streams (no syn/quote available offline).
+//!
+//! Supported input shapes — the only ones this workspace uses:
+//! * structs with named fields
+//! * enums whose variants are all unit variants
+//!
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of type the derive input is.
+enum Shape {
+    /// Struct name + field names.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize` by mapping the type onto a `Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(Shape::Struct(name, fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(vec![{pushes}])\
+                     }}\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the vestigial `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(Shape::Struct(name, _)) | Ok(Shape::Enum(name, _)) => {
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .expect("generated Deserialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"{msg}\");").parse().unwrap()
+}
+
+/// Extracts the type name plus its field or variant names.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut toks = input.into_iter().peekable();
+    let is_enum;
+    // Walk: attributes / visibility / struct|enum keyword.
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // optional (crate)/(super) restriction
+                    if matches!(
+                        toks.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        toks.next();
+                    }
+                } else if s == "struct" || s == "enum" {
+                    is_enum = s == "enum";
+                    break;
+                } else {
+                    return Err(format!("serde stub derive: unexpected token `{s}`"));
+                }
+            }
+            other => {
+                return Err(format!("serde stub derive: unexpected input {other:?}"));
+            }
+        }
+    }
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub derive: missing type name, got {other:?}")),
+    };
+    // Generics unsupported (and unused in this workspace).
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde stub derive: generic types unsupported".to_string());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde stub derive: tuple structs unsupported".to_string());
+            }
+            Some(_) => continue,
+            None => return Err("serde stub derive: missing braced body".to_string()),
+        }
+    };
+    if is_enum {
+        Ok(Shape::Enum(name, parse_unit_variants(body)?))
+    } else {
+        Ok(Shape::Struct(name, parse_named_fields(body)?))
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        match toks.peek() {
+            None => return Ok(fields),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("serde stub derive: expected field name, got {other:?}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde stub derive: expected `:`, got {other:?}")),
+        }
+        // Skip the type; token trees make nesting atomic, so scanning for a
+        // top-level comma is safe apart from `<...>` generics, which never
+        // contain top-level commas outside the angle brackets' own depth.
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match toks.next() {
+                    None => return Ok(variants),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Group(_)) => {
+                        return Err(
+                            "serde stub derive: only unit enum variants supported".to_string()
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "serde stub derive: unexpected token after variant: {other:?}"
+                        ));
+                    }
+                }
+            }
+            other => {
+                return Err(format!("serde stub derive: unexpected enum token {other:?}"));
+            }
+        }
+    }
+}
