@@ -15,7 +15,7 @@
 //! particular iteration order over these tiles.
 
 use crate::{check_qkv, shd, Result, Tensor, TensorError};
-use rayon::prelude::*;
+use fpdt_tensor::par;
 
 /// Log-sum-exp side output of the forward pass: one `f32` per
 /// `(query row, head)`, flattened row-major `[sq * h]`.
@@ -117,24 +117,31 @@ impl OnlineAttention {
         let q_pos = &self.q_pos;
         let hd = h * d;
         let hkvd = hkv * d;
-        // Parallel over query rows: each row owns disjoint acc/m/l slices.
-        self.acc
-            .par_chunks_mut(hd)
-            .zip(self.m.par_chunks_mut(h))
-            .zip(self.l.par_chunks_mut(h))
-            .enumerate()
-            .for_each(|(a, ((acc_row, m_row), l_row))| {
-                let mut scores = vec![0.0f32; sk];
-                for head in 0..h {
-                    let kvh = head / ratio;
-                    let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+        let sq = self.q_pos.len();
+        let work = sq.saturating_mul(sk).saturating_mul(hd);
+        // Parallel over (query row, head) items: each item owns a disjoint
+        // `d`-slice of acc and one scalar of m/l, and its accumulation is
+        // sequential over the KV block — bitwise identical at any thread
+        // count.
+        par::run_rows3(
+            &mut self.acc,
+            d,
+            &mut self.m,
+            1,
+            &mut self.l,
+            1,
+            work,
+            |item, acc_h, m_i, l_i| {
+                let (a, head) = (item / h, item % h);
+                let kvh = head / ratio;
+                let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+                par::with_scratch(sk, |scores| {
                     let mut blk_max = f32::NEG_INFINITY;
                     let mut any = false;
                     for b in 0..sk {
                         if kv_pos[b] <= q_pos[a] {
                             let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                            let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
-                            scores[b] = dot * scale;
+                            scores[b] = par::dot(q_row, k_row) * scale;
                             blk_max = blk_max.max(scores[b]);
                             any = true;
                         } else {
@@ -142,15 +149,14 @@ impl OnlineAttention {
                         }
                     }
                     if !any {
-                        continue;
+                        return;
                     }
-                    let m_new = m_row[head].max(blk_max);
-                    let correction = if m_row[head].is_finite() {
-                        (m_row[head] - m_new).exp()
+                    let m_new = m_i[0].max(blk_max);
+                    let correction = if m_i[0].is_finite() {
+                        (m_i[0] - m_new).exp()
                     } else {
                         0.0
                     };
-                    let acc_h = &mut acc_row[head * d..head * d + d];
                     for o in acc_h.iter_mut() {
                         *o *= correction;
                     }
@@ -166,10 +172,11 @@ impl OnlineAttention {
                             *o += p * vv;
                         }
                     }
-                    l_row[head] = l_row[head] * correction + block_l;
-                    m_row[head] = m_new;
-                }
-            });
+                    l_i[0] = l_i[0] * correction + block_l;
+                    m_i[0] = m_new;
+                });
+            },
+        );
         Ok(())
     }
 
@@ -181,21 +188,19 @@ impl OnlineAttention {
         let (h, d) = (self.h, self.d);
         let mut out = self.acc;
         let mut lse = vec![f32::NEG_INFINITY; sq * h];
-        for a in 0..sq {
-            for head in 0..h {
-                let l = self.l[a * h + head];
-                let m = self.m[a * h + head];
-                let o = &mut out[(a * h + head) * d..(a * h + head) * d + d];
-                if l > 0.0 {
-                    for x in o.iter_mut() {
-                        *x /= l;
-                    }
-                    lse[a * h + head] = m + l.ln();
-                } else {
-                    o.fill(0.0);
+        let (lv, mv) = (&self.l, &self.m);
+        par::run_rows2(&mut out, d, &mut lse, 1, sq * h * d, |item, o, lse_i| {
+            let l = lv[item];
+            let m = mv[item];
+            if l > 0.0 {
+                for x in o.iter_mut() {
+                    *x /= l;
                 }
+                lse_i[0] = m + l.ln();
+            } else {
+                o.fill(0.0);
             }
-        }
+        });
         (
             Tensor::from_vec(out, &[sq, h, d]).expect("buffer sized by construction"),
             lse,
@@ -219,14 +224,11 @@ pub fn rowwise_dot(o: &Tensor, dout: &Tensor) -> Result<Vec<f32>> {
         });
     }
     let mut out = vec![0.0f32; sq * h];
-    for (r, o_row) in out.iter_mut().enumerate() {
+    let (od, dod) = (o.data(), dout.data());
+    par::run_rows(&mut out, 1, sq * h * d, |r, o_row| {
         let base = r * d;
-        *o_row = o.data()[base..base + d]
-            .iter()
-            .zip(&dout.data()[base..base + d])
-            .map(|(&x, &y)| x * y)
-            .sum();
-    }
+        o_row[0] = par::dot(&od[base..base + d], &dod[base..base + d]);
+    });
     Ok(out)
 }
 
@@ -286,73 +288,60 @@ pub fn attention_block_bwd(
     let vd = v.data();
     let dod = dout.data();
 
-    // Pass 1: dq — parallel over query rows (disjoint output rows).
-    dq.data_mut()
-        .par_chunks_mut(hd)
-        .enumerate()
-        .for_each(|(a, dq_row)| {
-            for head in 0..h {
-                let kvh = head / ratio;
+    let work = sq.saturating_mul(sk).saturating_mul(hd);
+
+    // Pass 1: dq — parallel over (query row, head) items; each item owns a
+    // disjoint `d`-slice of dq and sweeps the KV block sequentially.
+    par::run_rows(dq.data_mut(), d, work, |item, dq_h| {
+        let (a, head) = (item / h, item % h);
+        let kvh = head / ratio;
+        let l = lse[a * h + head];
+        if !l.is_finite() {
+            return;
+        }
+        let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
+        let do_row = &dod[a * hd + head * d..a * hd + head * d + d];
+        let dsum_a = dsum[a * h + head];
+        for b in 0..sk {
+            if kv_pos[b] > q_pos[a] {
+                continue;
+            }
+            let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+            let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+            let p = (par::dot(q_row, k_row) * scale - l).exp();
+            let dp = par::dot(do_row, v_row);
+            let ds = p * (dp - dsum_a) * scale;
+            par::axpy(dq_h, ds, k_row);
+        }
+    });
+
+    // Pass 2: dk/dv — parallel over (key row, KV head) items. Each item
+    // owns a disjoint `d`-slice of dk and dv and accumulates over its
+    // `ratio` query heads (ascending), then query rows (ascending) — the
+    // same per-destination order as the row-level loop it replaces.
+    par::run_rows2(dk.data_mut(), d, dv.data_mut(), d, work, |item, dk_h, dv_h| {
+        let (b, kvh) = (item / hkv, item % hkv);
+        let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+        let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
+        for head in kvh * ratio..(kvh + 1) * ratio {
+            for a in 0..sq {
+                if kv_pos[b] > q_pos[a] {
+                    continue;
+                }
                 let l = lse[a * h + head];
                 if !l.is_finite() {
                     continue;
                 }
                 let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
                 let do_row = &dod[a * hd + head * d..a * hd + head * d + d];
-                let dsum_a = dsum[a * h + head];
-                let dq_h = &mut dq_row[head * d..head * d + d];
-                for b in 0..sk {
-                    if kv_pos[b] > q_pos[a] {
-                        continue;
-                    }
-                    let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                    let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                    let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
-                    let p = (dot * scale - l).exp();
-                    let dp: f32 = do_row.iter().zip(v_row).map(|(&x, &y)| x * y).sum();
-                    let ds = p * (dp - dsum_a) * scale;
-                    for (o, &kk) in dq_h.iter_mut().zip(k_row) {
-                        *o += ds * kk;
-                    }
-                }
+                let p = (par::dot(q_row, k_row) * scale - l).exp();
+                let dp = par::dot(do_row, v_row);
+                let ds = p * (dp - dsum[a * h + head]) * scale;
+                par::axpy(dk_h, ds, q_row);
+                par::axpy(dv_h, p, do_row);
             }
-        });
-
-    // Pass 2: dk/dv — parallel over key rows (disjoint output rows). Each
-    // KV head accumulates over its `ratio` query heads.
-    let dk_data = dk.data_mut();
-    let dv_data = dv.data_mut();
-    dk_data
-        .par_chunks_mut(hkvd)
-        .zip(dv_data.par_chunks_mut(hkvd))
-        .enumerate()
-        .for_each(|(b, (dk_row, dv_row))| {
-            for head in 0..h {
-                let kvh = head / ratio;
-                let k_row = &kd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                let dk_h_base = kvh * d;
-                for a in 0..sq {
-                    if kv_pos[b] > q_pos[a] {
-                        continue;
-                    }
-                    let l = lse[a * h + head];
-                    if !l.is_finite() {
-                        continue;
-                    }
-                    let q_row = &qd[a * hd + head * d..a * hd + head * d + d];
-                    let do_row = &dod[a * hd + head * d..a * hd + head * d + d];
-                    let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
-                    let p = (dot * scale - l).exp();
-                    let dp: f32 = do_row.iter().zip(v_row).map(|(&x, &y)| x * y).sum();
-                    let ds = p * (dp - dsum[a * h + head]) * scale;
-                    for i in 0..d {
-                        dk_row[dk_h_base + i] += ds * q_row[i];
-                        dv_row[dk_h_base + i] += p * do_row[i];
-                    }
-                }
-            }
-        });
+        }
+    });
     Ok(())
 }
 

@@ -5,7 +5,7 @@
 //! "attention materializes `QKᵀ`" baseline.
 
 use crate::{check_qkv, default_scale, Result, Tensor};
-use rayon::prelude::*;
+use fpdt_tensor::par;
 
 /// Causal attention over `[s, h, d]` tensors with positions `0..s` and
 /// softmax scale `1/sqrt(d)`.
@@ -43,11 +43,9 @@ pub fn attention_with_positions(
     let qd = q.data();
     let kd = k.data();
     let vd = v.data();
-    out.data_mut()
-        .par_chunks_mut(h * d)
-        .enumerate()
-        .for_each(|(a, out_row)| {
-            let mut scores = vec![0.0f32; sk];
+    let work = sq.saturating_mul(sk).saturating_mul(h * d);
+    par::run_rows(out.data_mut(), h * d, work, |a, out_row| {
+        par::with_scratch(sk, |scores| {
             for head in 0..h {
                 let kvh = head / ratio;
                 let q_row = &qd[(a * h + head) * d..(a * h + head) * d + d];
@@ -57,8 +55,7 @@ pub fn attention_with_positions(
                 for b in 0..sk {
                     if kv_pos[b] <= q_pos[a] {
                         let k_row = &kd[(b * hkv + kvh) * d..(b * hkv + kvh) * d + d];
-                        let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
-                        scores[b] = dot * scale;
+                        scores[b] = par::dot(q_row, k_row) * scale;
                         m = m.max(scores[b]);
                         any = true;
                     } else {
@@ -84,12 +81,11 @@ pub fn attention_with_positions(
                         continue;
                     }
                     let v_row = &vd[(b * hkv + kvh) * d..(b * hkv + kvh) * d + d];
-                    for (o, &vv) in o_row.iter_mut().zip(v_row) {
-                        *o += p * vv;
-                    }
+                    par::axpy(o_row, p, v_row);
                 }
             }
         });
+    });
     Ok(out)
 }
 
@@ -141,6 +137,10 @@ pub fn attention_bwd_with_positions(
     let mut dq = Tensor::zeros(q.shape());
     let mut dk = Tensor::zeros(k.shape());
     let mut dv = Tensor::zeros(v.shape());
+    // Scratch hoisted out of the nest (used to be two fresh Vecs per
+    // (head, query row) iteration).
+    let mut p = vec![0.0f32; sk];
+    let mut dp = vec![0.0f32; sk];
     // Serial over heads for deterministic accumulation into dk/dv.
     for head in 0..h {
         let kvh = head / ratio;
@@ -148,14 +148,12 @@ pub fn attention_bwd_with_positions(
             let q_row = &qd[(a * h + head) * d..(a * h + head) * d + d];
             let do_row = &dod[(a * h + head) * d..(a * h + head) * d + d];
             // probabilities
-            let mut p = vec![0.0f32; sk];
             let mut m = f32::NEG_INFINITY;
             let mut any = false;
             for b in 0..sk {
                 if kv_pos[b] <= q_pos[a] {
                     let k_row = &kd[(b * hkv + kvh) * d..(b * hkv + kvh) * d + d];
-                    let dot: f32 = q_row.iter().zip(k_row).map(|(&x, &y)| x * y).sum();
-                    p[b] = dot * scale;
+                    p[b] = par::dot(q_row, k_row) * scale;
                     m = m.max(p[b]);
                     any = true;
                 } else {
@@ -178,14 +176,14 @@ pub fn attention_bwd_with_positions(
                 *pb /= z;
             }
             // dp_b = do . v_b ; D = sum_b p_b dp_b ; ds_b = p_b (dp_b - D)
-            let mut dp = vec![0.0f32; sk];
             let mut dsum = 0.0f32;
             for b in 0..sk {
+                dp[b] = 0.0;
                 if p[b] == 0.0 {
                     continue;
                 }
                 let v_row = &vd[(b * hkv + kvh) * d..(b * hkv + kvh) * d + d];
-                dp[b] = do_row.iter().zip(v_row).map(|(&x, &y)| x * y).sum();
+                dp[b] = par::dot(do_row, v_row);
                 dsum += p[b] * dp[b];
             }
             let dq_row = {

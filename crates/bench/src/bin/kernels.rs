@@ -1,0 +1,274 @@
+//! Kernel-backend benchmark: wall-clock and GFLOP/s of the hot compute
+//! kernels (tiled matmul forward/backward, online attention
+//! forward/backward, layer-norm backward, fused cross-entropy) with the
+//! thread pool pinned to one thread versus the full `FPDT_THREADS` budget.
+//!
+//! Because every kernel partitions its work into fixed disjoint items with
+//! sequential in-item accumulation, the two configurations produce bitwise
+//! identical results — the benchmark asserts that on every run before
+//! reporting the speedup.
+//!
+//! Pass `--json` to suppress the table and emit only
+//! `target/experiments/BENCH_kernels.json`; `--quick` shrinks the problem
+//! sizes for CI smoke runs.
+
+use fpdt_attention::flops::{attention_bwd_flops, attention_fwd_flops};
+use fpdt_attention::online::{attention_block_bwd, rowwise_dot, OnlineAttention};
+use fpdt_bench::json_mode;
+use fpdt_tensor::{init, ops, Tensor};
+use rayon::pool;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize, Clone)]
+struct Row {
+    kernel: String,
+    threads: usize,
+    wall_ms: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    hardware_threads: usize,
+    budget_threads: usize,
+    rows: Vec<Row>,
+    /// `wall(1 thread) / wall(budget)` per kernel.
+    speedups: Vec<(String, f64)>,
+}
+
+/// Runs `f` `reps` times and returns the best wall-clock seconds (least
+/// noise on a shared host) along with the last digest for the bitwise
+/// equivalence check.
+fn time_best(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        digest = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, digest)
+}
+
+/// FNV-1a over the raw bits of a float slice: equal digests ⇔ bitwise
+/// equal outputs.
+fn digest(parts: &[&[f32]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        for v in *p {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+struct Bench {
+    name: &'static str,
+    flops: u64,
+    run: Box<dyn FnMut() -> u64>,
+}
+
+fn benches(quick: bool) -> Vec<Bench> {
+    let mut rng = init::seeded_rng(42);
+    let n = if quick { 128 } else { 512 };
+    let a = init::randn(&mut rng, &[n, n], 1.0);
+    let b = init::randn(&mut rng, &[n, n], 1.0);
+    let dc = init::randn(&mut rng, &[n, n], 1.0);
+    let (a2, b2, dc2) = (a.clone(), b.clone(), dc.clone());
+
+    // Figure-scale attention head layout (h=8, d=64).
+    let (s, h, d) = (if quick { 128 } else { 512 }, 8usize, 64usize);
+    let q = init::randn(&mut rng, &[s, h, d], 1.0);
+    let k = init::randn(&mut rng, &[s, h, d], 1.0);
+    let v = init::randn(&mut rng, &[s, h, d], 1.0);
+    let dout = init::randn(&mut rng, &[s, h, d], 1.0);
+    let pos: Vec<usize> = (0..s).collect();
+    let (q2, k2, v2, dout2, pos2) = (q.clone(), k.clone(), v.clone(), dout.clone(), pos.clone());
+    let scale = fpdt_attention::default_scale(d);
+
+    let rows = if quick { 256 } else { 2048 };
+    let dim = 1024usize;
+    let x = init::randn(&mut rng, &[rows, dim], 1.0);
+    let gamma = init::randn(&mut rng, &[dim], 0.2);
+    let beta = init::randn(&mut rng, &[dim], 0.2);
+    let dy = init::randn(&mut rng, &[rows, dim], 1.0);
+    let (x2, dy2) = (x.clone(), dy.clone());
+    let vocab = if quick { 512 } else { 4096 };
+    let logits = init::randn(&mut rng, &[rows, vocab], 1.0);
+    let targets: Vec<usize> = (0..rows).map(|i| i % vocab).collect();
+
+    let nu = n as u64;
+    let (su, hu, du) = (s as u64, h as u64, d as u64);
+    vec![
+        Bench {
+            name: "matmul",
+            flops: 2 * nu * nu * nu,
+            run: Box::new(move || {
+                let c = ops::matmul(&a, &b).expect("shapes fixed");
+                digest(&[c.data()])
+            }),
+        },
+        Bench {
+            name: "matmul_bwd",
+            flops: 4 * nu * nu * nu,
+            run: Box::new(move || {
+                let (da, db) = ops::matmul_bwd(&a2, &b2, &dc2).expect("shapes fixed");
+                digest(&[da.data(), db.data()])
+            }),
+        },
+        Bench {
+            name: "attention_fwd",
+            flops: attention_fwd_flops(su, hu, du),
+            run: Box::new(move || {
+                let mut st = OnlineAttention::new(&q, &pos, None).expect("shapes fixed");
+                st.update(&k, &v, &pos).expect("shapes fixed");
+                let (o, lse) = st.finalize();
+                digest(&[o.data(), &lse])
+            }),
+        },
+        Bench {
+            name: "attention_bwd",
+            flops: attention_bwd_flops(su, hu, du),
+            run: Box::new(move || {
+                let mut st = OnlineAttention::new(&q2, &pos2, None).expect("shapes fixed");
+                st.update(&k2, &v2, &pos2).expect("shapes fixed");
+                let (o, lse) = st.finalize();
+                let dsum = rowwise_dot(&o, &dout2).expect("shapes fixed");
+                let mut dq = Tensor::zeros(q2.shape());
+                let mut dk = Tensor::zeros(k2.shape());
+                let mut dv = Tensor::zeros(v2.shape());
+                attention_block_bwd(
+                    &q2, &k2, &v2, &dout2, &lse, &dsum, &pos2, &pos2, scale, &mut dq, &mut dk,
+                    &mut dv,
+                )
+                .expect("shapes fixed");
+                digest(&[dq.data(), dk.data(), dv.data()])
+            }),
+        },
+        Bench {
+            name: "layernorm_bwd",
+            flops: 11 * (rows as u64) * (dim as u64),
+            run: Box::new(move || {
+                let (_, ctx) = ops::layernorm(&x, &gamma, &beta, 1e-5).expect("shapes fixed");
+                let (dx, dg, db) =
+                    ops::layernorm_bwd(&x, &gamma, &ctx, &dy).expect("shapes fixed");
+                digest(&[dx.data(), dg.data(), db.data()])
+            }),
+        },
+        Bench {
+            name: "cross_entropy",
+            flops: 5 * (rows as u64) * (vocab as u64),
+            run: Box::new(move || {
+                let out =
+                    ops::cross_entropy(&logits, &targets, usize::MAX).expect("shapes fixed");
+                digest(&[out.dlogits.data(), &[out.loss_sum]])
+            }),
+        },
+        Bench {
+            name: "softmax_rows",
+            flops: 5 * (rows as u64) * (dim as u64),
+            run: Box::new(move || {
+                let y = ops::softmax_rows(&x2);
+                let dx = ops::softmax_rows_bwd(&y, &dy2).expect("shapes fixed");
+                digest(&[y.data(), dx.data()])
+            }),
+        },
+    ]
+}
+
+fn main() {
+    let quiet = json_mode();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 5 };
+    let budget = pool::current_threads();
+    // On a single-core host the second config still runs real pool workers
+    // (the pool spawns past the hardware count), so the bitwise
+    // equivalence assertion below is always exercised — only the reported
+    // speedup degenerates to ~1x there.
+    let configs = if budget > 1 {
+        vec![1, budget]
+    } else {
+        vec![1, 2]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for mut bench in benches(quick) {
+        // Warm up once (fills scratch buffers, faults pages).
+        (bench.run)();
+        let mut walls: Vec<(usize, f64)> = Vec::new();
+        let mut digests: Vec<u64> = Vec::new();
+        for &t in &configs {
+            let prev = pool::set_threads(t);
+            let (wall, dg) = time_best(reps, &mut bench.run);
+            pool::set_threads(prev);
+            walls.push((t, wall));
+            digests.push(dg);
+            rows.push(Row {
+                kernel: bench.name.to_string(),
+                threads: t,
+                wall_ms: wall * 1e3,
+                gflops: bench.flops as f64 / wall / 1e9,
+            });
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{}: outputs differ across thread counts",
+            bench.name
+        );
+        let base = walls[0].1;
+        let best = walls.last().expect("at least one config").1;
+        speedups.push((bench.name.to_string(), base / best));
+    }
+
+    if !quiet {
+        println!(
+            "kernel backend: {} hardware threads, budget {}",
+            pool::hardware_threads(),
+            budget
+        );
+        println!(
+            "{:<16}{:>9}{:>12}{:>12}",
+            "kernel", "threads", "wall ms", "GFLOP/s"
+        );
+        for r in &rows {
+            println!(
+                "{:<16}{:>9}{:>12.3}{:>12.2}",
+                r.kernel, r.threads, r.wall_ms, r.gflops
+            );
+        }
+        for (name, s) in &speedups {
+            println!("speedup {name}: {s:.2}x (bitwise identical outputs)");
+        }
+    }
+
+    let report = Report {
+        bench: "kernels",
+        hardware_threads: pool::hardware_threads(),
+        budget_threads: budget,
+        rows,
+        speedups,
+    };
+    let dir = std::path::PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join("BENCH_kernels.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, &body).expect("write BENCH_kernels.json");
+    let reparsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_kernels.json parses");
+    let has_rows = matches!(
+        &reparsed,
+        serde_json::Value::Object(entries)
+            if entries.iter().any(|(key, val)| {
+                key == "rows" && matches!(val, serde_json::Value::Array(_))
+            })
+    );
+    assert!(has_rows, "rows array present");
+    println!("BENCH_JSON_OK {}", path.display());
+}

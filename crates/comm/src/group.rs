@@ -161,6 +161,11 @@ impl Communicator {
 /// Spawns `world` scoped threads, hands each its [`Communicator`], and
 /// collects the per-rank return values in rank order.
 ///
+/// While the group runs, the kernel thread budget is split across the
+/// `world` device threads (`rayon::pool::device_scope`) so simulated GPUs
+/// don't oversubscribe the host: each rank's kernels fan out to at most
+/// `budget / world` extra threads.
+///
 /// Closure panics propagate (the whole call panics), mirroring how a rank
 /// failure aborts a distributed job.
 pub fn run_group<T, F>(world: usize, f: F) -> Vec<T>
@@ -171,6 +176,7 @@ where
     let mut group = CommGroup::new(world);
     let comms = group.communicators();
     let f = &f;
+    let _kernel_budget = rayon::pool::device_scope(world);
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()

@@ -252,10 +252,17 @@ impl AttentionExec for DistAttention<'_> {
             for j in 0..i {
                 let kj = self.keep(ChunkKey::new(layer, BufKind::K, j))?;
                 let vj = self.keep(ChunkKey::new(layer, BufKind::V, j))?;
+                let _u = self.span("kernel.attn.update", kj.data().len());
                 st.update(&kj, &vj, &self.plan.gathered_positions(j))?;
             }
-            st.update(&kh, &vh, &gpos)?;
-            let (oi, lse) = st.finalize();
+            {
+                let _u = self.span("kernel.attn.update", kh.data().len());
+                st.update(&kh, &vh, &gpos)?;
+            }
+            let (oi, lse) = {
+                let _f = self.span("kernel.attn.finalize", qh.data().len());
+                st.finalize()
+            };
             drop(attn_span);
             // Cache everything backward needs.
             self.put(ChunkKey::new(layer, BufKind::Q, i), qh);
@@ -284,7 +291,10 @@ impl AttentionExec for DistAttention<'_> {
             let range = self.plan.local_chunk_range(i);
             let doh = self.a2a_fwd(&dout.narrow(0, range.start, c_loc)?)?;
             let oi = self.keep(ChunkKey::new(layer, BufKind::O, i))?;
-            let dsum = rowwise_dot(&oi, &doh)?;
+            let dsum = {
+                let _s = self.span("kernel.attn.rowwise_dot", oi.data().len());
+                rowwise_dot(&oi, &doh)?
+            };
             let n = dsum.len();
             self.put(ChunkKey::new(layer, BufKind::DOut, i), doh.clone());
             self.put(

@@ -42,6 +42,7 @@ mod error;
 pub mod init;
 pub mod nn;
 pub mod ops;
+pub mod par;
 mod tensor;
 
 pub use error::TensorError;

@@ -1,14 +1,29 @@
 //! Elementwise activations and bias broadcasting with gradients.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 const SQRT_2_OVER_PI: f32 = 0.797_884_6;
 const GELU_COEFF: f32 = 0.044_715;
 
+/// Block size for splitting flat elementwise kernels across the pool; the
+/// math is purely per-element so any partition gives identical bits.
+const ELEM_BLOCK: usize = 4096;
+
+/// Column-block size for reductions over leading axes (`add_bias_bwd`,
+/// the norm `dgamma`/`dbeta` sums): columns are independent, and within a
+/// column rows are always accumulated in ascending order.
+const COL_BLOCK: usize = 64;
+
 /// GELU activation (tanh approximation, as used by GPT-2/3 and Llama's
 /// reference implementations of `gelu_new`).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(|v| 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_COEFF * v * v * v)).tanh()))
+    let mut out = x.clone();
+    par::run_rows(out.data_mut(), ELEM_BLOCK, x.numel(), |_, blk| {
+        for v in blk.iter_mut() {
+            *v = 0.5 * *v * (1.0 + (SQRT_2_OVER_PI * (*v + GELU_COEFF * *v * *v * *v)).tanh());
+        }
+    });
+    out
 }
 
 /// Gradient of [`gelu`]: returns `dx` given the forward input and `dy`.
@@ -24,24 +39,32 @@ pub fn gelu_bwd(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
             rhs: dy.shape().to_vec(),
         });
     }
-    let mut out = x.clone();
-    for (o, (&v, &g)) in out
-        .data_mut()
-        .iter_mut()
-        .zip(x.data().iter().zip(dy.data()))
-    {
-        let u = SQRT_2_OVER_PI * (v + GELU_COEFF * v * v * v);
-        let t = u.tanh();
-        let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * v * v);
-        let d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
-        *o = d * g;
-    }
+    let mut out = Tensor::zeros(x.shape());
+    let xs = x.data();
+    let dys = dy.data();
+    par::run_rows(out.data_mut(), ELEM_BLOCK, x.numel(), |blk_i, blk| {
+        let off = blk_i * ELEM_BLOCK;
+        for (j, o) in blk.iter_mut().enumerate() {
+            let (v, g) = (xs[off + j], dys[off + j]);
+            let u = SQRT_2_OVER_PI * (v + GELU_COEFF * v * v * v);
+            let t = u.tanh();
+            let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * v * v);
+            let d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+            *o = d * g;
+        }
+    });
     Ok(out)
 }
 
 /// SiLU/swish activation `x * sigmoid(x)` (Llama MLP gate).
 pub fn silu(x: &Tensor) -> Tensor {
-    x.map(|v| v / (1.0 + (-v).exp()))
+    let mut out = x.clone();
+    par::run_rows(out.data_mut(), ELEM_BLOCK, x.numel(), |_, blk| {
+        for v in blk.iter_mut() {
+            *v /= 1.0 + (-*v).exp();
+        }
+    });
+    out
 }
 
 /// Gradient of [`silu`].
@@ -57,15 +80,17 @@ pub fn silu_bwd(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
             rhs: dy.shape().to_vec(),
         });
     }
-    let mut out = x.clone();
-    for (o, (&v, &g)) in out
-        .data_mut()
-        .iter_mut()
-        .zip(x.data().iter().zip(dy.data()))
-    {
-        let s = 1.0 / (1.0 + (-v).exp());
-        *o = g * (s + v * s * (1.0 - s));
-    }
+    let mut out = Tensor::zeros(x.shape());
+    let xs = x.data();
+    let dys = dy.data();
+    par::run_rows(out.data_mut(), ELEM_BLOCK, x.numel(), |blk_i, blk| {
+        let off = blk_i * ELEM_BLOCK;
+        for (j, o) in blk.iter_mut().enumerate() {
+            let (v, g) = (xs[off + j], dys[off + j]);
+            let s = 1.0 / (1.0 + (-v).exp());
+            *o = g * (s + v * s * (1.0 - s));
+        }
+    });
     Ok(out)
 }
 
@@ -85,23 +110,34 @@ pub fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = x.clone();
-    for row in out.data_mut().chunks_mut(d) {
-        for (o, &b) in row.iter_mut().zip(bias.data()) {
+    let bs = bias.data();
+    par::run_rows(out.data_mut(), d, x.numel(), |_, row| {
+        for (o, &b) in row.iter_mut().zip(bs) {
             *o += b;
         }
-    }
+    });
     Ok(out)
 }
 
 /// Gradient of [`add_bias`] with respect to the bias: sums `dy` over all
 /// leading axes. (`dx` is just `dy` and needs no helper.)
+///
+/// Parallel over *column* blocks; within a column the rows are reduced in
+/// ascending order, so the sums match the sequential kernel bit for bit.
 pub fn add_bias_bwd(dy: &Tensor, d: usize) -> Tensor {
     let mut db = Tensor::zeros(&[d]);
-    for row in dy.data().chunks(d) {
-        for (o, &g) in db.data_mut().iter_mut().zip(row) {
-            *o += g;
-        }
+    if d == 0 {
+        return db;
     }
+    let dys = dy.data();
+    par::run_rows(db.data_mut(), COL_BLOCK, dys.len(), |cb, dbs| {
+        let c0 = cb * COL_BLOCK;
+        for row in dys.chunks(d) {
+            // `axpy` truncates to the overlap, which also covers a ragged
+            // final row exactly like the old zip-based loop did.
+            par::axpy(dbs, 1.0, &row[c0.min(row.len())..]);
+        }
+    });
     db
 }
 

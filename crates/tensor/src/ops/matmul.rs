@@ -1,4 +1,4 @@
-//! Blocked, parallel matrix multiplication and its gradients.
+//! Cache-blocked, parallel matrix multiplication and its gradients.
 //!
 //! Three raw-slice kernels cover every layout the Transformer needs without
 //! materializing transposes:
@@ -6,12 +6,23 @@
 //! * [`gemm`]    — `C += A · B`      (`A: [m,k]`, `B: [k,n]`)
 //! * [`gemm_nt`] — `C += A · Bᵀ`     (`A: [m,k]`, `B: [n,k]`)
 //! * [`gemm_tn`] — `C += Aᵀ · B`     (`A: [k,m]`, `B: [k,n]`)
+//!
+//! Each kernel tiles the iteration space (`MC`/`KC`/`NC` panels, with B-
+//! or A-panel packing where the source layout is strided) and fans the
+//! row-block loop out to the kernel pool through [`crate::par::run_rows`].
+//! The split threshold is the shared `FPDT_PAR_THRESHOLD` tunable, not a
+//! per-file constant. Determinism: every `C` element accumulates its `k`
+//! contributions in ascending-`l` order regardless of tile shape or thread
+//! count, so results are bitwise identical from `FPDT_THREADS=1` to N.
 
-use crate::{Result, Tensor, TensorError};
-use rayon::prelude::*;
+use crate::{par, Result, Tensor, TensorError};
 
-/// Minimum per-thread row count before rayon splitting pays off.
-const PAR_ROWS: usize = 8;
+/// Rows of `C` per parallel work item (the fan-out grain).
+const MC: usize = 32;
+/// Depth (`k`) extent of one packed panel.
+const KC: usize = 256;
+/// Column extent of one packed B panel (`gemm`) or B-row block (`gemm_nt`).
+const NC: usize = 512;
 
 /// `c += a @ b` where `a` is `[m, k]`, `b` is `[k, n]`, `c` is `[m, n]`,
 /// all row-major slices.
@@ -24,22 +35,37 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (l, &a_il) in a_row.iter().enumerate() {
-            if a_il == 0.0 {
-                continue;
-            }
-            let b_row = &b[l * n..(l + 1) * n];
-            for (c_ij, &b_lj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_il * b_lj;
-            }
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let work = m.saturating_mul(k).saturating_mul(n);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Pack the B panel once per (jc, pc): contiguous nc-wide rows
+            // shared read-only by every row block below.
+            par::with_scratch(kc * nc, |bp| {
+                for l in 0..kc {
+                    let src = (pc + l) * n + jc;
+                    bp[l * nc..(l + 1) * nc].copy_from_slice(&b[src..src + nc]);
+                }
+                let bp = &*bp;
+                par::run_rows(c, MC * n, work, |blk, c_blk| {
+                    let i0 = blk * MC;
+                    for r in 0..c_blk.len() / n {
+                        let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                        let c_row = &mut c_blk[r * n + jc..r * n + jc + nc];
+                        for (l, &a_il) in a_row.iter().enumerate() {
+                            if a_il == 0.0 {
+                                continue;
+                            }
+                            par::axpy(c_row, a_il, &bp[l * nc..(l + 1) * nc]);
+                        }
+                    }
+                });
+            });
         }
-    };
-    if m >= PAR_ROWS && m * k * n > 1 << 16 {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
     }
 }
 
@@ -48,21 +74,28 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *c_ij += acc;
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let work = m.saturating_mul(k).saturating_mul(n);
+    // B rows are already contiguous in k; blocking (pc, jc) keeps one
+    // nc x kc panel of B hot in cache across all rows of the block.
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            par::run_rows(c, MC * n, work, |blk, c_blk| {
+                let i0 = blk * MC;
+                for r in 0..c_blk.len() / n {
+                    let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                    let c_row = &mut c_blk[r * n + jc..r * n + jc + nc];
+                    for (j, c_ij) in c_row.iter_mut().enumerate() {
+                        let b_row = &b[(jc + j) * k + pc..(jc + j) * k + pc + kc];
+                        *c_ij += par::dot(a_row, b_row);
+                    }
+                }
+            });
         }
-    };
-    if m >= PAR_ROWS && m * k * n > 1 << 16 {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
     }
 }
 
@@ -71,22 +104,35 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        for l in 0..k {
-            let a_li = a[l * m + i];
-            if a_li == 0.0 {
-                continue;
-            }
-            let b_row = &b[l * n..(l + 1) * n];
-            for (c_ij, &b_lj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_li * b_lj;
-            }
-        }
-    };
-    if m >= PAR_ROWS && m * k * n > 1 << 16 {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let work = m.saturating_mul(k).saturating_mul(n);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        par::run_rows(c, MC * n, work, |blk, c_blk| {
+            let i0 = blk * MC;
+            let rows = c_blk.len() / n;
+            // Pack this block's A columns into row-major form (per-task
+            // scratch): turns the stride-m walk into unit stride.
+            par::with_scratch(rows * kc, |ap| {
+                for (l, lg) in (pc..pc + kc).enumerate() {
+                    let src = &a[lg * m + i0..lg * m + i0 + rows];
+                    for (r, &v) in src.iter().enumerate() {
+                        ap[r * kc + l] = v;
+                    }
+                }
+                for r in 0..rows {
+                    let c_row = &mut c_blk[r * n..(r + 1) * n];
+                    for (l, &a_il) in ap[r * kc..(r + 1) * kc].iter().enumerate() {
+                        if a_il == 0.0 {
+                            continue;
+                        }
+                        par::axpy(c_row, a_il, &b[(pc + l) * n..(pc + l + 1) * n]);
+                    }
+                }
+            });
+        });
     }
 }
 

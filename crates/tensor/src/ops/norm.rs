@@ -1,7 +1,14 @@
 //! Layer normalization and RMS normalization with hand-derived backward
 //! passes, applied over the last axis.
+//!
+//! All kernels fan out over independent rows (or, for the `dgamma` /
+//! `dbeta` reductions, independent column blocks with rows accumulated in
+//! ascending order), so results are bitwise identical at any thread count.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+
+/// Column-block size for the parameter-gradient reductions.
+const COL_BLOCK: usize = 64;
 
 /// Saved forward state required by [`layernorm_bwd`].
 #[derive(Debug, Clone)]
@@ -56,18 +63,28 @@ pub fn layernorm(
     }
     let rows = x.numel() / d;
     let mut out = x.clone();
-    let mut mean = Vec::with_capacity(rows);
-    let mut rstd = Vec::with_capacity(rows);
-    for row in out.data_mut().chunks_mut(d) {
-        let m = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / d as f32;
-        let r = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data())) {
-            *v = (*v - m) * r * g + b;
-        }
-        mean.push(m);
-        rstd.push(r);
-    }
+    let mut mean = vec![0.0f32; rows];
+    let mut rstd = vec![0.0f32; rows];
+    let (gs, bs) = (gamma.data(), beta.data());
+    par::run_rows3(
+        out.data_mut(),
+        d,
+        &mut mean,
+        1,
+        &mut rstd,
+        1,
+        x.numel(),
+        |_, row, mean, rstd| {
+            let m = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / d as f32;
+            let r = 1.0 / (var + eps).sqrt();
+            for (v, (&g, &b)) in row.iter_mut().zip(gs.iter().zip(bs)) {
+                *v = (*v - m) * r * g + b;
+            }
+            mean[0] = m;
+            rstd[0] = r;
+        },
+    );
     Ok((out, LayerNormCtx { mean, rstd }))
 }
 
@@ -95,29 +112,51 @@ pub fn layernorm_bwd(
     let mut dx = Tensor::zeros(x.shape());
     let mut dgamma = Tensor::zeros(&[d]);
     let mut dbeta = Tensor::zeros(&[d]);
-    for r in 0..rows {
-        let xs = &x.data()[r * d..(r + 1) * d];
-        let dys = &dy.data()[r * d..(r + 1) * d];
+    let (xd, dyd, gd) = (x.data(), dy.data(), gamma.data());
+    let work = x.numel();
+    // xhat_i = (x_i - m) * rs ; y = g*xhat + b
+    // dx = rs/d * (d*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+    par::run_rows(dx.data_mut(), d, work, |r, dxs| {
+        let xs = &xd[r * d..(r + 1) * d];
+        let dys = &dyd[r * d..(r + 1) * d];
         let (m, rs) = (ctx.mean[r], ctx.rstd[r]);
-        // xhat_i = (x_i - m) * rs ; y = g*xhat + b
-        // dx = rs/d * (d*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
         let mut sum_dxhat = 0.0;
         let mut sum_dxhat_xhat = 0.0;
         for i in 0..d {
             let xhat = (xs[i] - m) * rs;
-            let dxhat = dys[i] * gamma.data()[i];
+            let dxhat = dys[i] * gd[i];
             sum_dxhat += dxhat;
             sum_dxhat_xhat += dxhat * xhat;
-            dgamma.data_mut()[i] += dys[i] * xhat;
-            dbeta.data_mut()[i] += dys[i];
         }
-        let dxs = &mut dx.data_mut()[r * d..(r + 1) * d];
         for i in 0..d {
             let xhat = (xs[i] - m) * rs;
-            let dxhat = dys[i] * gamma.data()[i];
+            let dxhat = dys[i] * gd[i];
             dxs[i] = rs * (dxhat - (sum_dxhat + xhat * sum_dxhat_xhat) / d as f32);
         }
-    }
+    });
+    // Parameter gradients: parallel over column blocks, rows ascending
+    // inside each column — the same per-column addition order as the old
+    // row-major accumulation loop.
+    par::run_rows2(
+        dgamma.data_mut(),
+        COL_BLOCK,
+        dbeta.data_mut(),
+        COL_BLOCK,
+        work,
+        |cb, dgs, dbs| {
+            let c0 = cb * COL_BLOCK;
+            for r in 0..rows {
+                let (m, rs) = (ctx.mean[r], ctx.rstd[r]);
+                for (j, (dg, db)) in dgs.iter_mut().zip(dbs.iter_mut()).enumerate() {
+                    let i = c0 + j;
+                    let (xv, dyv) = (xd[r * d + i], dyd[r * d + i]);
+                    let xhat = (xv - m) * rs;
+                    *dg += dyv * xhat;
+                    *db += dyv;
+                }
+            }
+        },
+    );
     Ok((dx, dgamma, dbeta))
 }
 
@@ -134,15 +173,16 @@ pub fn rmsnorm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<(Tensor, RmsNormC
     let d = check_last_dim("rmsnorm", x, gamma)?;
     let mut out = x.clone();
     let rows = x.numel() / d;
-    let mut rrms = Vec::with_capacity(rows);
-    for row in out.data_mut().chunks_mut(d) {
+    let mut rrms = vec![0.0f32; rows];
+    let gs = gamma.data();
+    par::run_rows2(out.data_mut(), d, &mut rrms, 1, x.numel(), |_, row, rr| {
         let ms = row.iter().map(|&v| v * v).sum::<f32>() / d as f32;
         let r = 1.0 / (ms + eps).sqrt();
-        for (v, &g) in row.iter_mut().zip(gamma.data()) {
+        for (v, &g) in row.iter_mut().zip(gs) {
             *v = *v * r * g;
         }
-        rrms.push(r);
-    }
+        rr[0] = r;
+    });
     Ok((out, RmsNormCtx { rrms }))
 }
 
@@ -169,22 +209,32 @@ pub fn rmsnorm_bwd(
     let rows = x.numel() / d;
     let mut dx = Tensor::zeros(x.shape());
     let mut dgamma = Tensor::zeros(&[d]);
-    for r in 0..rows {
-        let xs = &x.data()[r * d..(r + 1) * d];
-        let dys = &dy.data()[r * d..(r + 1) * d];
+    let (xd, dyd, gd) = (x.data(), dy.data(), gamma.data());
+    let work = x.numel();
+    // y_i = g_i * x_i * rr, rr = (mean(x^2)+eps)^{-1/2}
+    // dx_i = rr*g_i*dy_i - x_i * rr^3/d * sum_j dy_j g_j x_j
+    par::run_rows(dx.data_mut(), d, work, |r, dxs| {
+        let xs = &xd[r * d..(r + 1) * d];
+        let dys = &dyd[r * d..(r + 1) * d];
         let rr = ctx.rrms[r];
-        // y_i = g_i * x_i * rr, rr = (mean(x^2)+eps)^{-1/2}
-        // dx_i = rr*g_i*dy_i - x_i * rr^3/d * sum_j dy_j g_j x_j
         let mut dot = 0.0;
         for i in 0..d {
-            dot += dys[i] * gamma.data()[i] * xs[i];
-            dgamma.data_mut()[i] += dys[i] * xs[i] * rr;
+            dot += dys[i] * gd[i] * xs[i];
         }
-        let dxs = &mut dx.data_mut()[r * d..(r + 1) * d];
         for i in 0..d {
-            dxs[i] = rr * gamma.data()[i] * dys[i] - xs[i] * rr * rr * rr * dot / d as f32;
+            dxs[i] = rr * gd[i] * dys[i] - xs[i] * rr * rr * rr * dot / d as f32;
         }
-    }
+    });
+    par::run_rows(dgamma.data_mut(), COL_BLOCK, work, |cb, dgs| {
+        let c0 = cb * COL_BLOCK;
+        for r in 0..rows {
+            let rr = ctx.rrms[r];
+            for (j, dg) in dgs.iter_mut().enumerate() {
+                let i = c0 + j;
+                *dg += dyd[r * d + i] * xd[r * d + i] * rr;
+            }
+        }
+    });
     Ok((dx, dgamma))
 }
 

@@ -5,13 +5,15 @@
 //! the rows of `logits` and invoke [`cross_entropy`] per chunk, summing the
 //! returned token counts and losses.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
-/// Row-wise softmax over the last axis.
+/// Row-wise softmax over the last axis. Rows are independent, so the
+/// kernel fans out over them (bitwise deterministic at any thread count).
 pub fn softmax_rows(x: &Tensor) -> Tensor {
-    let d = *x.shape().last().unwrap_or(&1);
+    let d = (*x.shape().last().unwrap_or(&1)).max(1);
     let mut out = x.clone();
-    for row in out.data_mut().chunks_mut(d.max(1)) {
+    let work = x.numel();
+    par::run_rows(out.data_mut(), d, work, |_, row| {
         let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -21,7 +23,7 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
         for v in row.iter_mut() {
             *v /= sum;
         }
-    }
+    });
     out
 }
 
@@ -39,19 +41,18 @@ pub fn softmax_rows_bwd(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
             rhs: dy.shape().to_vec(),
         });
     }
-    let d = *y.shape().last().unwrap_or(&1);
+    let d = (*y.shape().last().unwrap_or(&1)).max(1);
     let mut dx = Tensor::zeros(y.shape());
-    for ((dxs, ys), dys) in dx
-        .data_mut()
-        .chunks_mut(d.max(1))
-        .zip(y.data().chunks(d.max(1)))
-        .zip(dy.data().chunks(d.max(1)))
-    {
-        let dot: f32 = ys.iter().zip(dys).map(|(&a, &b)| a * b).sum();
+    let yd = y.data();
+    let dyd = dy.data();
+    par::run_rows(dx.data_mut(), d, yd.len(), |r, dxs| {
+        let ys = &yd[r * d..r * d + dxs.len()];
+        let dys = &dyd[r * d..r * d + dxs.len()];
+        let dot = par::dot(ys, dys);
         for i in 0..dxs.len() {
             dxs[i] = ys[i] * (dys[i] - dot);
         }
-    }
+    });
     Ok(dx)
 }
 
@@ -99,34 +100,48 @@ pub fn cross_entropy(
             rhs: vec![targets.len()],
         });
     }
+    if let Some(&t) = targets.iter().find(|&&t| t != ignore_index && t >= v) {
+        return Err(TensorError::ShapeMismatch {
+            op: "cross_entropy",
+            lhs: vec![n, v],
+            rhs: vec![t],
+        });
+    }
     let mut dlogits = Tensor::zeros(&[n, v]);
+    let mut losses = vec![0.0f32; n];
+    let xs = logits.data();
+    par::run_rows2(
+        dlogits.data_mut(),
+        v,
+        &mut losses,
+        1,
+        n.saturating_mul(v),
+        |r, drow, loss| {
+            let t = targets[r];
+            if t == ignore_index {
+                return;
+            }
+            let row = &xs[r * v..(r + 1) * v];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut sum = 0.0f32;
+            for &x in row {
+                sum += (x - m).exp();
+            }
+            let log_z = m + sum.ln();
+            loss[0] = log_z - row[t];
+            for (i, &x) in row.iter().enumerate() {
+                drow[i] = (x - log_z).exp();
+            }
+            drow[t] -= 1.0;
+        },
+    );
+    // Reduce in ascending row order; ignored rows contribute an exact 0.0,
+    // so this matches the old skip-and-accumulate loop bit for bit.
     let mut loss_sum = 0.0f32;
     let mut tokens = 0usize;
-    for (r, &t) in targets.iter().enumerate() {
-        if t == ignore_index {
-            continue;
-        }
-        if t >= v {
-            return Err(TensorError::ShapeMismatch {
-                op: "cross_entropy",
-                lhs: vec![n, v],
-                rhs: vec![t],
-            });
-        }
-        let row = &logits.data()[r * v..(r + 1) * v];
-        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let mut sum = 0.0f32;
-        for &x in row {
-            sum += (x - m).exp();
-        }
-        let log_z = m + sum.ln();
-        loss_sum += log_z - row[t];
-        tokens += 1;
-        let drow = &mut dlogits.data_mut()[r * v..(r + 1) * v];
-        for (i, &x) in row.iter().enumerate() {
-            drow[i] = (x - log_z).exp();
-        }
-        drow[t] -= 1.0;
+    for (r, &l) in losses.iter().enumerate() {
+        loss_sum += l;
+        tokens += usize::from(targets[r] != ignore_index);
     }
     Ok(CrossEntropyOutput {
         loss_sum,

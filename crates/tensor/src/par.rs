@@ -1,0 +1,230 @@
+//! Kernel parallelism policy shared by every compute kernel in the
+//! workspace: the split threshold, the row-dispatch helper, reusable
+//! per-thread scratch buffers, and the deterministic `dot`/`axpy`
+//! micro-kernels.
+//!
+//! The actual thread pool lives in the vendored `rayon` crate
+//! (`rayon::pool`); this module decides *when* going parallel pays off and
+//! keeps the decision in one place instead of a per-file constant.
+//!
+//! Determinism: every helper here preserves the kernel contract that makes
+//! results bitwise identical at any thread count — items are a fixed
+//! partition of disjoint data and all accumulation inside an item is
+//! sequential in a fixed order.
+
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default minimum amount of work (roughly multiply-adds, or elements for
+/// bandwidth-bound ops) before a kernel fans out to the pool. Matches the
+/// former per-file `m * k * n > 1 << 16` gate in the matmul kernels.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 16;
+
+fn threshold_cell() -> &'static AtomicUsize {
+    static THRESHOLD: OnceLock<AtomicUsize> = OnceLock::new();
+    THRESHOLD.get_or_init(|| {
+        let n = std::env::var("FPDT_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD);
+        AtomicUsize::new(n)
+    })
+}
+
+/// Current parallel-split threshold (initialized from `FPDT_PAR_THRESHOLD`,
+/// default [`DEFAULT_PAR_THRESHOLD`]).
+pub fn par_threshold() -> usize {
+    threshold_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the split threshold at runtime (tests and benchmarks force
+/// both paths with this); returns the previous value.
+pub fn set_par_threshold(n: usize) -> usize {
+    threshold_cell().swap(n, Ordering::Relaxed)
+}
+
+/// Whether a kernel with `items` independent pieces totalling `work`
+/// scalar operations should fan out to the pool.
+pub fn parallel_worthwhile(items: usize, work: usize) -> bool {
+    items >= 2 && work >= par_threshold()
+}
+
+/// Dispatches `body(i, row)` over fixed `row_len` rows of `data` —
+/// parallel when [`parallel_worthwhile`] says the `work` estimate covers
+/// the fan-out cost, sequential otherwise. Both paths visit the same
+/// partition, so the choice never changes the numbers.
+///
+/// This is the shared dispatch block that used to be copy-pasted per
+/// kernel.
+pub fn run_rows<F>(data: &mut [f32], row_len: usize, work: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let row_len = row_len.max(1);
+    if parallel_worthwhile(data.len() / row_len, work) {
+        data.par_chunks_mut(row_len)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
+    } else {
+        data.chunks_mut(row_len)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
+    }
+}
+
+/// Two-slice variant of [`run_rows`]: rows of `a` (length `ra`) and `b`
+/// (length `rb`) advance in lock step, for kernels whose per-item state
+/// spans two buffers (e.g. gradient pairs, output + per-row statistic).
+pub fn run_rows2<F>(a: &mut [f32], ra: usize, b: &mut [f32], rb: usize, work: usize, body: F)
+where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    let (ra, rb) = (ra.max(1), rb.max(1));
+    if parallel_worthwhile(a.len() / ra, work) {
+        a.par_chunks_mut(ra)
+            .zip(b.par_chunks_mut(rb))
+            .enumerate()
+            .for_each(|(i, (x, y))| body(i, x, y));
+    } else {
+        a.chunks_mut(ra)
+            .zip(b.chunks_mut(rb))
+            .enumerate()
+            .for_each(|(i, (x, y))| body(i, x, y));
+    }
+}
+
+/// Three-slice variant of [`run_rows`] (e.g. the online-attention
+/// accumulator's `(acc, m, l)` triple).
+#[allow(clippy::too_many_arguments)]
+pub fn run_rows3<F>(
+    a: &mut [f32],
+    ra: usize,
+    b: &mut [f32],
+    rb: usize,
+    c: &mut [f32],
+    rc: usize,
+    work: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+{
+    let (ra, rb, rc) = (ra.max(1), rb.max(1), rc.max(1));
+    if parallel_worthwhile(a.len() / ra, work) {
+        a.par_chunks_mut(ra)
+            .zip(b.par_chunks_mut(rb))
+            .zip(c.par_chunks_mut(rc))
+            .enumerate()
+            .for_each(|(i, ((x, y), z))| body(i, x, y, z));
+    } else {
+        a.chunks_mut(ra)
+            .zip(b.chunks_mut(rb))
+            .zip(c.chunks_mut(rc))
+            .enumerate()
+            .for_each(|(i, ((x, y), z))| body(i, x, y, z));
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Hands `f` a zeroed scratch buffer of length `len`, reusing a
+/// thread-local allocation across calls (kills the per-chunk `vec!`
+/// allocations in the attention backward nest). Reentrant: nested calls
+/// get distinct buffers.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = SCRATCH
+        .with(|s| s.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    let r = f(&mut buf);
+    SCRATCH.with(|s| s.borrow_mut().push(buf));
+    r
+}
+
+/// Dot product with four independent accumulators combined in a fixed
+/// order — deterministic, and wide enough for the compiler to keep the
+/// FMA pipeline busy. Extent mismatch truncates to the shorter slice.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let (ai, bi) = (&a[i * 4..i * 4 + 4], &b[i * 4..i * 4 + 4]);
+        acc[0] += ai[0] * bi[0];
+        acc[1] += ai[1] * bi[1];
+        acc[2] += ai[2] * bi[2];
+        acc[3] += ai[3] * bi[3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..n {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `dst[i] += s * src[i]` over the overlap of the two slices.
+#[inline]
+pub fn axpy(dst: &mut [f32], s: f32, src: &[f32]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d += s * x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_round_trip() {
+        let prev = set_par_threshold(123);
+        assert_eq!(par_threshold(), 123);
+        assert!(parallel_worthwhile(2, 123));
+        assert!(!parallel_worthwhile(2, 122));
+        assert!(!parallel_worthwhile(1, usize::MAX));
+        set_par_threshold(prev);
+    }
+
+    #[test]
+    fn run_rows_visits_every_row_once() {
+        let mut data = vec![0.0f32; 35];
+        run_rows(&mut data, 5, usize::MAX, |i, row| {
+            for v in row.iter_mut() {
+                *v += 1.0 + i as f32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1.0 + (i / 5) as f32);
+        }
+    }
+
+    #[test]
+    fn scratch_is_zeroed_and_reentrant() {
+        with_scratch(8, |a| {
+            assert!(a.iter().all(|&v| v == 0.0));
+            a[0] = 7.0;
+            with_scratch(4, |b| {
+                assert!(b.iter().all(|&v| v == 0.0));
+            });
+            assert_eq!(a[0], 7.0);
+        });
+        // reused buffer must be re-zeroed
+        with_scratch(8, |a| assert!(a.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn dot_matches_naive_and_axpy_accumulates() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+        let mut dst = vec![1.0f32; 4];
+        axpy(&mut dst, 2.0, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dst, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+}

@@ -4,8 +4,67 @@
 use fpdt_tensor::{init, ops, Tensor};
 use proptest::prelude::*;
 
+/// Textbook triple loop, the oracle for the tiled/packed gemm.
+fn naive_matmul(a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Tensor {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a.data()[i * k + l];
+            for j in 0..n {
+                c[i * n + j] += av * b.data()[l * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n]).unwrap()
+}
+
+/// Maps a sampled index to a dimension that straddles a gemm tile
+/// boundary (`MC = 32`, `KC = 256`, `NC = 512`) or is degenerate.
+fn edge_dim(tile: usize, idx: usize) -> usize {
+    [1, 2, 3, tile - 1, tile, tile + 1][idx % 6]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiled_matmul_matches_naive(
+        seed in 0u64..1000,
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+    ) {
+        let (m, k, n) = (edge_dim(32, mi), edge_dim(256, ki), edge_dim(64, ni));
+        let mut rng = init::seeded_rng(seed);
+        let a = init::randn(&mut rng, &[m, k], 1.0);
+        let b = init::randn(&mut rng, &[k, n], 1.0);
+        let got = ops::matmul(&a, &b).unwrap();
+        let want = naive_matmul(&a, &b, m, k, n);
+        prop_assert!(got.allclose(&want, 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn tiled_matmul_bwd_matches_naive_transposes(
+        seed in 0u64..1000,
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+    ) {
+        // dA = dC Bᵀ and dB = Aᵀ dC; validate the gemm_nt / gemm_tn tiles
+        // against naive matmuls of explicitly transposed operands.
+        let (m, k, n) = (edge_dim(32, mi), edge_dim(64, ki), edge_dim(64, ni));
+        let mut rng = init::seeded_rng(seed);
+        let a = init::randn(&mut rng, &[m, k], 1.0);
+        let b = init::randn(&mut rng, &[k, n], 1.0);
+        let dc = init::randn(&mut rng, &[m, n], 1.0);
+        let (da, db) = ops::matmul_bwd(&a, &b, &dc).unwrap();
+        let bt = b.transpose2().unwrap();
+        let at = a.transpose2().unwrap();
+        let want_da = naive_matmul(&dc, &bt, m, n, k);
+        let want_db = naive_matmul(&at, &dc, k, m, n);
+        prop_assert!(da.allclose(&want_da, 1e-3, 1e-4));
+        prop_assert!(db.allclose(&want_db, 1e-3, 1e-4));
+    }
 
     #[test]
     fn split_concat_identity(

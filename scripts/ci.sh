@@ -24,4 +24,19 @@ if [ "$(grep -c '^BENCH_JSON_OK ' <<<"$out")" -lt 2 ]; then
     exit 1
 fi
 
+echo "==> kernels --json --quick smoke (BENCH_kernels.json must parse)"
+out=$(cargo run -q --release -p fpdt-bench --bin kernels -- --json --quick)
+echo "$out"
+# The kernel bench asserts bitwise-identical outputs across thread counts
+# before printing its BENCH_JSON_OK line.
+if ! grep -q '^BENCH_JSON_OK .*BENCH_kernels\.json$' <<<"$out"; then
+    echo "FAIL: kernels --json did not validate BENCH_kernels.json" >&2
+    exit 1
+fi
+
+echo "==> cargo test -q --workspace under FPDT_THREADS=1"
+# The whole suite must also pass with the kernel pool pinned to a single
+# thread (the sequential fast path) — same numbers, same results.
+FPDT_THREADS=1 cargo test -q --workspace
+
 echo "CI OK"

@@ -1,0 +1,161 @@
+//! Indexed parallel producers over slices, with the `zip` / `enumerate` /
+//! `for_each` combinators the workspace's kernels drive them with.
+//!
+//! Unlike real rayon's general-purpose splitting iterators, these are
+//! *fixed-partition* producers: the item boundaries are fully determined
+//! by `(len, chunk)` and never by the thread count, so any kernel whose
+//! items touch disjoint data is bitwise deterministic by construction
+//! (see [`crate::pool`]).
+
+use crate::pool;
+use std::marker::PhantomData;
+
+/// A fixed partition of work into `pieces()` independent items.
+///
+/// # Safety contract for implementors
+///
+/// `piece(i)` must hand out non-overlapping data for distinct `i`, so that
+/// claiming each index exactly once (which [`IndexedParallel::for_each`]
+/// guarantees) never aliases a `&mut`.
+pub trait IndexedParallel: Sized + Sync {
+    /// The per-index item (e.g. one mutable chunk).
+    type Item;
+
+    /// Number of items in the fixed partition.
+    fn pieces(&self) -> usize;
+
+    /// Materializes item `i`.
+    ///
+    /// # Safety
+    ///
+    /// Callers must invoke this at most once per index (mutable producers
+    /// alias otherwise).
+    unsafe fn piece(&self, i: usize) -> Self::Item;
+
+    /// Pairs this producer's items with `other`'s, truncating to the
+    /// shorter (rayon semantics).
+    fn zip<B: IndexedParallel>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Runs `f` over every item on the kernel pool, blocking until done.
+    /// Items run in claim order, each sequentially on one thread.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.pieces();
+        // SAFETY: parallel_for claims each index in 0..n exactly once.
+        pool::parallel_for(n, &|i| f(unsafe { self.piece(i) }));
+    }
+}
+
+/// Parallel mutable chunks of a slice (`par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: items are disjoint subslices; `T: Send` lets them cross threads.
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+impl<'a, T> ParChunksMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send> IndexedParallel for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pieces(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    unsafe fn piece(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        debug_assert!(start < self.len);
+        let len = self.chunk.min(self.len - start);
+        // SAFETY: distinct `i` yield disjoint ranges within the slice; the
+        // caller claims each index once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+/// Parallel shared chunks of a slice (`par_chunks`).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T> ParChunks<'a, T> {
+    pub(crate) fn new(slice: &'a [T], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunks { slice, chunk }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallel for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pieces(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    unsafe fn piece(&self, i: usize) -> &'a [T] {
+        let start = i * self.chunk;
+        let len = self.chunk.min(self.slice.len() - start);
+        &self.slice[start..start + len]
+    }
+}
+
+/// Lock-step pairing of two producers (see [`IndexedParallel::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedParallel, B: IndexedParallel> IndexedParallel for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pieces(&self) -> usize {
+        self.a.pieces().min(self.b.pieces())
+    }
+
+    unsafe fn piece(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded claim-once guarantee.
+        unsafe { (self.a.piece(i), self.b.piece(i)) }
+    }
+}
+
+/// Index-attaching adapter (see [`IndexedParallel::enumerate`]).
+pub struct Enumerate<A> {
+    inner: A,
+}
+
+impl<A: IndexedParallel> IndexedParallel for Enumerate<A> {
+    type Item = (usize, A::Item);
+
+    fn pieces(&self) -> usize {
+        self.inner.pieces()
+    }
+
+    unsafe fn piece(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded claim-once guarantee.
+        (i, unsafe { self.inner.piece(i) })
+    }
+}

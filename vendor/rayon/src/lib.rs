@@ -1,34 +1,148 @@
-//! Sequential offline stand-in for the rayon APIs this workspace uses.
+//! Offline stand-in for the rayon APIs this workspace uses — now backed by
+//! a **real multi-threaded work pool** instead of the former sequential
+//! shim.
 //!
-//! Kernels call `par_chunks_mut` and then drive the result with plain
-//! `Iterator` combinators (`zip`, `enumerate`, `for_each`), so mapping the
-//! parallel entry points onto their `std` sequential equivalents keeps
-//! every call site compiling unchanged — and makes the "parallel" kernels
-//! bit-deterministic, which the test suite exploits.
+//! Kernels call `par_chunks_mut` / `par_chunks` and drive the result with
+//! `zip` / `enumerate` / `for_each`. The partition into items is fixed by
+//! `(len, chunk)` alone and each item runs sequentially on exactly one
+//! thread, so kernels whose items own disjoint data are bitwise
+//! deterministic at any thread count — the property the workspace's
+//! determinism suites assert. See [`pool`] for the thread-budget knobs
+//! (`FPDT_THREADS`, [`pool::set_threads`], [`pool::device_scope`]).
 
-/// The rayon prelude: parallel-slice extension traits.
+pub mod iter;
+pub mod pool;
+
+/// The rayon prelude: parallel-slice extension traits plus the combinator
+/// trait ([`iter::IndexedParallel`]) that gives the results `zip` /
+/// `enumerate` / `for_each`.
 pub mod prelude {
-    /// Parallel chunking over mutable slices (sequential here).
-    pub trait ParallelSliceMut<T> {
-        /// Chunks of at most `chunk` elements, in order.
-        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+    pub use crate::iter::IndexedParallel;
+    use crate::iter::{ParChunks, ParChunksMut};
+
+    /// Parallel chunking over mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Disjoint mutable chunks of at most `chunk` elements, processed
+        /// on the kernel pool.
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut::new(self, chunk)
         }
     }
 
-    /// Parallel chunking over shared slices (sequential here).
-    pub trait ParallelSlice<T> {
-        /// Chunks of at most `chunk` elements, in order.
-        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T>;
+    /// Parallel chunking over shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Shared chunks of at most `chunk` elements, processed on the
+        /// kernel pool.
+        fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk)
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+            ParChunks::new(self, chunk)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pool;
+    use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that reconfigure the global budget.
+    static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn chunks_cover_slice_exactly_once() {
+        let _g = CONFIG_LOCK.lock().unwrap();
+        let prev = pool::set_threads(4);
+        let mut data = vec![0u32; 1003];
+        data.as_mut_slice()
+            .par_chunks_mut(17)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 17 + j) as u32;
+                }
+            });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+        pool::set_threads(prev);
+    }
+
+    #[test]
+    fn zip_runs_lockstep() {
+        let _g = CONFIG_LOCK.lock().unwrap();
+        let prev = pool::set_threads(8);
+        let mut a = vec![0i64; 64];
+        let mut b = vec![0i64; 64];
+        a.as_mut_slice()
+            .par_chunks_mut(4)
+            .zip(b.as_mut_slice().par_chunks_mut(4))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for v in ca.iter_mut() {
+                    *v = i as i64;
+                }
+                for v in cb.iter_mut() {
+                    *v = -(i as i64);
+                }
+            });
+        for i in 0..16 {
+            assert!(a[i * 4..i * 4 + 4].iter().all(|&v| v == i as i64));
+            assert!(b[i * 4..i * 4 + 4].iter().all(|&v| v == -(i as i64)));
+        }
+        pool::set_threads(prev);
+    }
+
+    #[test]
+    fn shared_chunks_read() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let sums = Mutex::new(0.0f64);
+        data.par_chunks(7).for_each(|c| {
+            let s: f32 = c.iter().sum();
+            *sums.lock().unwrap() += f64::from(s);
+        });
+        assert_eq!(*sums.lock().unwrap(), 4950.0);
+    }
+
+    #[test]
+    fn budget_one_is_purely_sequential() {
+        let _g = CONFIG_LOCK.lock().unwrap();
+        let prev = pool::set_threads(1);
+        let tid = std::thread::current().id();
+        let mut data = vec![0u8; 256];
+        data.as_mut_slice().par_chunks_mut(8).for_each(|c| {
+            assert_eq!(std::thread::current().id(), tid);
+            c.fill(1);
+        });
+        assert!(data.iter().all(|&v| v == 1));
+        pool::set_threads(prev);
+    }
+
+    #[test]
+    fn device_scope_divides_budget() {
+        let _g = CONFIG_LOCK.lock().unwrap();
+        let prev = pool::set_threads(8);
+        {
+            let _scope = pool::device_scope(4);
+            assert_eq!(pool::per_call_threads(), 2);
+        }
+        assert_eq!(pool::device_threads(), 1);
+        pool::set_threads(prev);
+    }
+
+    #[test]
+    fn empty_and_tiny_slices() {
+        let mut empty: Vec<f32> = Vec::new();
+        empty.as_mut_slice().par_chunks_mut(4).for_each(|_| panic!());
+        let mut one = vec![1.0f32];
+        one.as_mut_slice().par_chunks_mut(4).for_each(|c| c[0] = 2.0);
+        assert_eq!(one[0], 2.0);
     }
 }

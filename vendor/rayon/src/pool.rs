@@ -1,0 +1,255 @@
+//! The deterministic work pool behind the parallel slice APIs.
+//!
+//! A small set of persistent worker threads (std::thread + a
+//! Mutex/Condvar job queue — no external deps) executes indexed tasks.
+//! Determinism contract: [`parallel_for`] runs `task(i)` exactly once for
+//! every `i in 0..total`, each invocation sequential and single-threaded,
+//! and the *set* of indices a thread claims never influences the numbers —
+//! callers must only hand in tasks whose items touch disjoint data and
+//! accumulate within one item sequentially. Under that contract results
+//! are bitwise identical at any thread count (`FPDT_THREADS=1` vs N),
+//! which the workspace's determinism suites assert.
+//!
+//! Scheduling is dynamic (workers claim the next index from a shared
+//! atomic counter — work stealing off a single injector), which balances
+//! ragged items without affecting the numbers.
+//!
+//! ## Thread budget
+//!
+//! * `FPDT_THREADS` sets the process-wide budget (default: the number of
+//!   hardware threads). [`set_threads`] adjusts it at runtime.
+//! * The multi-device runtime registers its device-thread count via
+//!   [`set_device_threads`] / [`device_scope`]; each `parallel_for` call
+//!   then uses at most `budget / device_threads` threads so P simulated
+//!   GPUs dividing the machine never oversubscribe it.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool workers, far above any sane `FPDT_THREADS`.
+const MAX_WORKERS: usize = 64;
+
+/// One indexed fan-out: `task(i)` for `i in 0..total`, claimed dynamically.
+struct Job {
+    /// Type-erased borrow of the caller's closure. Only dereferenced for a
+    /// successfully claimed index, and the submitting thread blocks until
+    /// every index completes, so the borrow never outlives the call.
+    task: *const (dyn Fn(usize) + Sync + 'static),
+    next: AtomicUsize,
+    total: usize,
+    remaining: AtomicUsize,
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced by `run`, which claims each index at
+// most once; the submitter keeps the closure alive until `wait` returns.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn new(task: &(dyn Fn(usize) + Sync), total: usize) -> Self {
+        // SAFETY: erase the borrow's lifetime; `parallel_for` joins the job
+        // before returning, so the pointer is valid whenever dereferenced.
+        let task: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+        Job {
+            task,
+            next: AtomicUsize::new(0),
+            total,
+            remaining: AtomicUsize::new(total),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs indices until the counter is exhausted.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                break;
+            }
+            // SAFETY: see `Job::task`.
+            let task = unsafe { &*self.task };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.poisoned.store(true, Ordering::Relaxed);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().expect("job mutex") = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every index has completed (on any thread).
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("job mutex");
+        while !*done {
+            done = self.cv.wait(done).expect("job mutex");
+        }
+    }
+}
+
+/// Shared injector queue feeding the persistent workers.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+impl Pool {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("pool queue");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.available.wait(q).expect("pool queue");
+                }
+            };
+            job.run();
+        }
+    }
+
+    /// Grows the pool to at least `n` workers (capped at [`MAX_WORKERS`]).
+    fn ensure_workers(&'static self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        while self.spawned.load(Ordering::Relaxed) < n {
+            let cur = self.spawned.fetch_add(1, Ordering::Relaxed);
+            if cur >= n {
+                self.spawned.fetch_sub(1, Ordering::Relaxed);
+                break;
+            }
+            std::thread::Builder::new()
+                .name(format!("fpdt-kernel-{cur}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn kernel pool worker");
+        }
+    }
+
+    /// Offers `helpers` claim tickets for `job` to the workers.
+    fn inject(&'static self, job: &Arc<Job>, helpers: usize) {
+        self.ensure_workers(helpers);
+        let mut q = self.queue.lock().expect("pool queue");
+        for _ in 0..helpers {
+            q.push_back(Arc::clone(job));
+        }
+        drop(q);
+        self.available.notify_all();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Number of hardware threads the host exposes.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn threads_cell() -> &'static AtomicUsize {
+    static THREADS: OnceLock<AtomicUsize> = OnceLock::new();
+    THREADS.get_or_init(|| {
+        let n = std::env::var("FPDT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(hardware_threads);
+        AtomicUsize::new(n.min(MAX_WORKERS))
+    })
+}
+
+static DEVICE_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Current process-wide kernel thread budget.
+pub fn current_threads() -> usize {
+    threads_cell().load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide kernel thread budget; returns the previous value.
+/// `0` is clamped to `1`. Safe to call at any time: the change only alters
+/// how many threads join future `parallel_for` calls, never the numbers.
+pub fn set_threads(n: usize) -> usize {
+    threads_cell().swap(n.clamp(1, MAX_WORKERS), Ordering::Relaxed)
+}
+
+/// Number of device (simulated-GPU) threads currently registered.
+pub fn device_threads() -> usize {
+    DEVICE_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Registers how many device threads are live so the kernel budget is
+/// divided instead of multiplied; returns the previous value.
+pub fn set_device_threads(n: usize) -> usize {
+    DEVICE_THREADS.swap(n.max(1), Ordering::Relaxed)
+}
+
+/// RAII registration of `n` device threads; restores the previous count on
+/// drop. Used by the comm layer's `run_group` around its rank scope.
+pub struct DeviceScope {
+    prev: usize,
+}
+
+/// Registers `n` device threads for the lifetime of the returned guard.
+pub fn device_scope(n: usize) -> DeviceScope {
+    DeviceScope {
+        prev: set_device_threads(n),
+    }
+}
+
+impl Drop for DeviceScope {
+    fn drop(&mut self) {
+        set_device_threads(self.prev);
+    }
+}
+
+/// Per-call concurrency: the global budget divided across device threads.
+pub fn per_call_threads() -> usize {
+    (current_threads() / device_threads()).max(1)
+}
+
+/// Runs `task(i)` once for every `i in 0..total` across the pool, blocking
+/// until all complete. The calling thread participates, so a budget of 1
+/// (or a single item) degenerates to a plain sequential loop with no
+/// synchronization at all.
+///
+/// # Panics
+///
+/// Re-raises (as a generic panic) if any task invocation panicked.
+pub fn parallel_for(total: usize, task: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let helpers = per_call_threads()
+        .saturating_sub(1)
+        .min(total.saturating_sub(1));
+    if helpers == 0 {
+        for i in 0..total {
+            task(i);
+        }
+        return;
+    }
+    let job = Arc::new(Job::new(task, total));
+    pool().inject(&job, helpers);
+    job.run();
+    job.wait();
+    assert!(
+        !job.poisoned.load(Ordering::Relaxed),
+        "parallel_for: a kernel task panicked on a pool worker"
+    );
+}
