@@ -16,6 +16,7 @@
 
 use crate::{check_qkv, shd, Result, Tensor, TensorError};
 use fpdt_tensor::par;
+use std::sync::Arc;
 
 /// Log-sum-exp side output of the forward pass: one `f32` per
 /// `(query row, head)`, flattened row-major `[sq * h]`.
@@ -46,7 +47,7 @@ pub type Lse = Vec<f32>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineAttention {
-    q: Tensor,
+    q: Arc<Tensor>,
     q_pos: Vec<usize>,
     acc: Vec<f32>,
     m: Vec<f32>,
@@ -65,7 +66,18 @@ impl OnlineAttention {
     /// Returns a shape error unless `q` is rank 3 and
     /// `q_pos.len() == sq`.
     pub fn new(q: &Tensor, q_pos: &[usize], scale: Option<f32>) -> Result<Self> {
-        let (sq, h, d) = shd(q, "online_attention")?;
+        Self::new_shared(Arc::new(q.clone()), q_pos, scale)
+    }
+
+    /// [`OnlineAttention::new`] for a query block that is already
+    /// `Arc`-shared (e.g. resident in the host offload pool) — the
+    /// accumulator holds the shared buffer instead of copying it.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`OnlineAttention::new`].
+    pub fn new_shared(q: Arc<Tensor>, q_pos: &[usize], scale: Option<f32>) -> Result<Self> {
+        let (sq, h, d) = shd(&q, "online_attention")?;
         if q_pos.len() != sq {
             return Err(TensorError::ShapeMismatch {
                 op: "online_attention",
@@ -74,7 +86,7 @@ impl OnlineAttention {
             });
         }
         Ok(OnlineAttention {
-            q: q.clone(),
+            q,
             q_pos: q_pos.to_vec(),
             acc: vec![0.0; sq * h * d],
             m: vec![f32::NEG_INFINITY; sq * h],

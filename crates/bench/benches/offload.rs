@@ -1,6 +1,7 @@
 //! Host-pool throughput: the offload/fetch path the double buffer must
-//! hide. On the real hardware this is a PCIe DMA; here it is a move into
-//! the keyed store — the benchmark documents the runtime's bookkeeping
+//! hide. On the real hardware this is a PCIe DMA; here the pool stores
+//! `Arc<Tensor>` so `fetch_keep` is a reference-count bump and never
+//! copies chunk data — the benchmark documents the runtime's bookkeeping
 //! cost, which must stay negligible next to attention compute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

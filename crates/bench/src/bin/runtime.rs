@@ -1,0 +1,190 @@
+//! Runtime-throughput benchmark for the overlapped offload engine: trains
+//! the real FPDT runtime with the asynchronous copy stream on and off and
+//! measures tokens/s, the compute/copy overlap fraction (paper Figure 13,
+//! on wall-clock spans rather than the simulator), and the wait-time
+//! breakdown — asserting on every run that the two configurations produce
+//! bitwise-identical losses.
+//!
+//! The run uses one rank so the overlap signal is unambiguous: with
+//! prefetch off every transfer serializes on the rank's thread (overlap
+//! ~0); with prefetch on transfers ride pool workers and their spans
+//! intersect the compute spans.
+//!
+//! Pass `--json` to suppress the table and emit only
+//! `target/experiments/BENCH_runtime.json`; `--quick` shrinks the run for
+//! CI smoke tests. Set `FPDT_DUMP_TRACE=1` to also write per-run Chrome
+//! traces (`runtime_trace_prefetch_{true,false}.json`) for Perfetto.
+
+use fpdt_bench::json_mode;
+use fpdt_core::runtime::dist::{train_traced, Mode, TrainConfig};
+use fpdt_model::config::ModelConfig;
+use fpdt_trace::{overlap_fraction, Recorder};
+use rayon::pool;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Copy-stream span labels (both directions).
+const COPY: &[&str] = &["offload.prefetch", "offload.put", "offload.fetch"];
+/// Leaf compute spans. Deliberately excludes the enclosing
+/// `attn.fwd.chunk`/`block.*` phase spans, whose intervals contain the
+/// synchronous transfers issued between kernels — counting those would
+/// report fake overlap for a fully serial runtime.
+const COMPUTE: &[&str] = &["kernel.", "attn.bwd.tile"];
+
+#[derive(Serialize, Clone)]
+struct Row {
+    prefetch: bool,
+    wall_ms: f64,
+    tokens_per_s: f64,
+    overlap_fraction: f64,
+    copy_busy_us: f64,
+    wait_us: f64,
+    bytes_h2d: u64,
+    bytes_d2h: u64,
+    loss_digest: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seq: usize,
+    steps: usize,
+    chunks: usize,
+    threads: usize,
+    rows: Vec<Row>,
+    losses_bitwise_identical: bool,
+}
+
+/// FNV-1a over the raw bits of the loss curve: equal digests ⇔ bitwise
+/// equal trajectories.
+fn digest(vals: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let quiet = json_mode();
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Large enough that attention kernels run for hundreds of µs —
+    // otherwise the sub-µs simulated transfers fall into scheduling gaps
+    // between kernels and no overlap is measurable at all.
+    let (seq, steps) = if quick { (256, 2) } else { (256, 3) };
+    let chunks = 4usize;
+
+    // The copy stream needs a helper-thread budget to go asynchronous; a
+    // single-core CI host would otherwise run every transfer inline and
+    // measure zero overlap by construction (the pool spawns workers past
+    // the hardware count, so this works on any machine).
+    let prev_threads = pool::set_threads(pool::current_threads().max(4));
+    let threads = pool::current_threads();
+
+    let run = |prefetch: bool| {
+        let cfg = TrainConfig {
+            model: ModelConfig::tiny(2, 64, 4, 50),
+            world: 1,
+            seq,
+            steps,
+            mode: Mode::Fpdt {
+                chunks,
+                offload: true,
+            },
+            prefetch: Some(prefetch),
+            ..TrainConfig::default()
+        };
+        let rec = Recorder::new();
+        let t0 = Instant::now();
+        let report = train_traced(&cfg, Some(&rec));
+        let wall = t0.elapsed().as_secs_f64();
+        let records = rec.records();
+        if std::env::var("FPDT_DUMP_TRACE").is_ok() {
+            std::fs::create_dir_all("target/experiments").expect("trace dir");
+            std::fs::write(
+                format!("target/experiments/runtime_trace_prefetch_{prefetch}.json"),
+                rec.chrome_trace_json(),
+            )
+            .expect("write trace");
+        }
+        Row {
+            prefetch,
+            wall_ms: wall * 1e3,
+            tokens_per_s: (seq * steps) as f64 / wall,
+            overlap_fraction: overlap_fraction(&records, COPY, COMPUTE),
+            copy_busy_us: rec.total_us("offload.prefetch")
+                + rec.total_us("offload.put")
+                + rec.total_us("offload.fetch"),
+            wait_us: rec.total_us("offload.wait"),
+            bytes_h2d: rec.total_bytes("offload.prefetch") + rec.total_bytes("offload.fetch"),
+            bytes_d2h: rec.total_bytes("offload.put"),
+            loss_digest: digest(&report.losses),
+        }
+    };
+
+    let on = run(true);
+    let off = run(false);
+    pool::set_threads(prev_threads);
+
+    let identical = on.loss_digest == off.loss_digest;
+    assert!(
+        identical,
+        "prefetch on/off trajectories diverged: {:#x} vs {:#x}",
+        on.loss_digest, off.loss_digest
+    );
+
+    let rows = vec![on.clone(), off.clone()];
+    if !quiet {
+        println!("runtime throughput: seq {seq}, {steps} steps, {chunks} chunks, {threads} threads");
+        println!(
+            "{:<10}{:>10}{:>12}{:>10}{:>14}{:>12}",
+            "prefetch", "wall ms", "tokens/s", "overlap", "copy busy us", "wait us"
+        );
+        for r in &rows {
+            println!(
+                "{:<10}{:>10.1}{:>12.0}{:>10.3}{:>14.1}{:>12.1}",
+                r.prefetch, r.wall_ms, r.tokens_per_s, r.overlap_fraction, r.copy_busy_us, r.wait_us
+            );
+        }
+        println!("losses bitwise identical: {identical}");
+    }
+
+    let report = Report {
+        bench: "runtime",
+        seq,
+        steps,
+        chunks,
+        threads,
+        rows,
+        losses_bitwise_identical: identical,
+    };
+    let dir = std::path::PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join("BENCH_runtime.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, &body).expect("write BENCH_runtime.json");
+    let reparsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_runtime.json parses");
+    let has_rows = matches!(
+        &reparsed,
+        serde_json::Value::Object(entries)
+            if entries.iter().any(|(key, val)| {
+                key == "rows" && matches!(val, serde_json::Value::Array(_))
+            })
+    );
+    assert!(has_rows, "rows array present");
+    println!("BENCH_JSON_OK {}", path.display());
+
+    if on.overlap_fraction <= 0.0 {
+        eprintln!(
+            "RUNTIME_OVERLAP_FAIL: prefetch-enabled run measured zero \
+             compute/copy overlap"
+        );
+        std::process::exit(1);
+    }
+    println!("RUNTIME_OVERLAP_OK {:.4}", on.overlap_fraction);
+}

@@ -1,4 +1,5 @@
-//! The host-memory pool: where FPDT parks idle sequence chunks.
+//! The host-memory pool: where FPDT parks idle sequence chunks — plus the
+//! asynchronous copy stream that hides its traffic behind compute.
 //!
 //! In the paper this is pinned CPU DRAM reached over PCIe; in the real
 //! runtime it is a keyed store owned by each simulated GPU's thread. The
@@ -6,9 +7,30 @@
 //! claims — e.g. that at any instant only `O(1/u)` of the sequence lives
 //! on "HBM", and that the backward's nested loop fetches each KV chunk
 //! exactly once per outer iteration.
+//!
+//! ## Zero-copy residency, costed transfers
+//!
+//! Chunks are stored as [`Arc<Tensor>`], so [`HostPool::fetch_keep`] hands
+//! back the *same* buffer the pool holds — no data copy, ever. What a real
+//! system pays for is the PCIe transfer, which [`OffloadEngine`] models as
+//! a bandwidth-bound read pass over the chunk ("the copy"). Synchronous
+//! transfers run that pass on the rank's thread; with prefetch enabled it
+//! runs on a kernel-pool worker, chained FIFO like a CUDA copy stream, so
+//! the transfer overlaps whatever the rank computes next.
+//!
+//! ## Determinism
+//!
+//! All pool *bookkeeping* (map inserts/removals, counters) happens
+//! synchronously on the owning rank's thread at issue time, in program
+//! order — only the costed read pass moves off-thread. Since the data is
+//! `Arc`-shared, a prefetched chunk is bit-identical to a synchronously
+//! fetched one regardless of when the copy runs, so prefetch on/off (and
+//! any `FPDT_THREADS`) cannot change results *by construction*.
 
-use fpdt_tensor::Tensor;
-use std::collections::HashMap;
+use fpdt_tensor::{par, Tensor};
+use fpdt_trace::Recorder;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// What kind of buffer a pooled chunk holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,9 +86,15 @@ pub struct PoolStats {
     pub bytes: u64,
     /// High-water mark of resident bytes.
     pub peak_bytes: u64,
+    /// Cumulative device-to-host traffic (bytes ever offloaded).
+    pub bytes_offloaded: u64,
+    /// Cumulative host-to-device traffic (bytes ever fetched, keep or
+    /// consume).
+    pub bytes_fetched: u64,
 }
 
-/// A per-rank host-memory pool.
+/// A per-rank host-memory pool. Chunks are `Arc`-shared: fetching hands
+/// back the pooled buffer itself, never a copy.
 ///
 /// # Example
 ///
@@ -81,10 +109,11 @@ pub struct PoolStats {
 /// let k = pool.fetch(&key).expect("chunk was cached");
 /// assert_eq!(k.shape(), &[4, 2, 8]);
 /// assert_eq!(pool.stats().bytes, 0);
+/// assert_eq!(pool.stats().bytes_fetched, 4 * 2 * 8 * 4);
 /// ```
 #[derive(Debug, Default)]
 pub struct HostPool {
-    store: HashMap<ChunkKey, Tensor>,
+    store: HashMap<ChunkKey, Arc<Tensor>>,
     stats: PoolStats,
 }
 
@@ -101,8 +130,20 @@ impl HostPool {
     /// Panics if the key is already resident — offloading the same chunk
     /// twice without fetching it is a scheduler bug.
     pub fn offload(&mut self, key: ChunkKey, t: Tensor) {
+        self.offload_shared(key, Arc::new(t));
+    }
+
+    /// [`HostPool::offload`] for a chunk that is already `Arc`-shared with
+    /// the device side — the zero-copy path the executor uses.
+    ///
+    /// # Panics
+    ///
+    /// Same double-offload condition as [`HostPool::offload`].
+    pub fn offload_shared(&mut self, key: ChunkKey, t: Arc<Tensor>) {
+        let b = bytes_of(&t);
         self.stats.offloads += 1;
-        self.stats.bytes += bytes_of(&t);
+        self.stats.bytes += b;
+        self.stats.bytes_offloaded += b;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
         let prev = self.store.insert(key, t);
         assert!(prev.is_none(), "chunk {key:?} offloaded twice");
@@ -110,19 +151,22 @@ impl HostPool {
 
     /// Moves a tensor back to the device (host-to-device copy), removing
     /// it from the pool. Returns `None` when the key is not resident.
-    pub fn fetch(&mut self, key: &ChunkKey) -> Option<Tensor> {
+    pub fn fetch(&mut self, key: &ChunkKey) -> Option<Arc<Tensor>> {
         let t = self.store.remove(key)?;
+        let b = bytes_of(&t);
         self.stats.fetches += 1;
-        self.stats.bytes -= bytes_of(&t);
+        self.stats.bytes -= b;
+        self.stats.bytes_fetched += b;
         Some(t)
     }
 
     /// Reads a chunk without evicting it (a fetch that keeps the host
     /// copy — what the forward does with KV chunks reused by later query
-    /// chunks).
-    pub fn fetch_keep(&mut self, key: &ChunkKey) -> Option<Tensor> {
-        let t = self.store.get(key).cloned()?;
+    /// chunks). Hands back the pooled `Arc` itself: no data is copied.
+    pub fn fetch_keep(&mut self, key: &ChunkKey) -> Option<Arc<Tensor>> {
+        let t = Arc::clone(self.store.get(key)?);
         self.stats.fetches += 1;
+        self.stats.bytes_fetched += bytes_of(&t);
         Some(t)
     }
 
@@ -170,9 +214,303 @@ fn bytes_of(t: &Tensor) -> u64 {
     (t.numel() * std::mem::size_of::<f32>()) as u64
 }
 
+/// Simulated PCIe transfer: a bandwidth-bound read pass over the chunk.
+/// Residency itself is zero-copy (`Arc`-shared), so this pass is what
+/// gives a transfer measurable wall-clock cost — on the rank's thread for
+/// synchronous transfers, on a pool worker for asynchronous ones.
+fn touch(t: &Tensor) {
+    let mut acc = 0.0f32;
+    for &x in t.data() {
+        acc += x;
+    }
+    std::hint::black_box(acc);
+}
+
+/// Completion state of one asynchronous copy.
+#[derive(Debug, Default)]
+struct TaskDone {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl TaskDone {
+    fn signal(&self) {
+        *self.done.lock().expect("copy task state") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut d = self.done.lock().expect("copy task state");
+        while !*d {
+            d = self.cv.wait(d).expect("copy task state");
+        }
+    }
+}
+
+/// Signals a [`TaskDone`] when dropped — even if the copy payload panics
+/// on the worker, so a [`FetchHandle::wait`] never hangs.
+struct SignalOnDrop(Arc<TaskDone>);
+
+impl Drop for SignalOnDrop {
+    fn drop(&mut self) {
+        self.0.signal();
+    }
+}
+
+/// An in-flight host-to-device copy issued by [`OffloadEngine::prefetch`].
+///
+/// The chunk's *data* is already available (it is the pool's shared
+/// buffer); [`FetchHandle::wait`] blocks until the modeled transfer has
+/// finished streaming, recording the blocked time as an `offload.wait`
+/// span. Dropping the handle waits too, so the copy stream stays ordered
+/// even on error paths.
+#[derive(Debug)]
+pub struct FetchHandle {
+    data: Arc<Tensor>,
+    done: Option<Arc<TaskDone>>,
+    key: ChunkKey,
+    pending: Option<Arc<Mutex<HashSet<ChunkKey>>>>,
+    recorder: Option<Recorder>,
+    bytes: u64,
+}
+
+impl FetchHandle {
+    /// A handle whose transfer already completed (device-resident chunks,
+    /// or a copy that ran inline under a single-thread budget).
+    pub fn ready(data: Arc<Tensor>) -> Self {
+        FetchHandle {
+            data,
+            done: None,
+            key: ChunkKey::new(0, BufKind::Ctx, 0),
+            pending: None,
+            recorder: None,
+            bytes: 0,
+        }
+    }
+
+    /// Blocks until the chunk has finished streaming in, then returns the
+    /// shared buffer.
+    pub fn wait(self) -> Arc<Tensor> {
+        let data = Arc::clone(&self.data);
+        drop(self); // the Drop impl performs the actual wait
+        data
+    }
+}
+
+impl Drop for FetchHandle {
+    fn drop(&mut self) {
+        if let Some(done) = self.done.take() {
+            match &self.recorder {
+                Some(r) => {
+                    let start = r.now_us();
+                    done.wait();
+                    r.record("offload.wait", start, r.now_us() - start, Some(self.bytes));
+                }
+                None => done.wait(),
+            }
+        }
+        if let Some(pending) = &self.pending {
+            pending.lock().expect("pending prefetch set").remove(&self.key);
+        }
+    }
+}
+
+/// A [`HostPool`] fronted by an asynchronous copy stream.
+///
+/// Bookkeeping (residency, counters) stays synchronous on the owning
+/// rank's thread; the costed transfer pass runs on the shared kernel pool
+/// when `prefetch` is enabled *and* the `device_scope` budget leaves a
+/// helper thread (`fpdt_tensor::par::spawn_task`), inline otherwise.
+/// Transfers chain FIFO per engine — one copy in flight at a time, like a
+/// CUDA copy stream on one PCIe link.
+#[derive(Default)]
+pub struct OffloadEngine {
+    pool: HostPool,
+    prefetch: bool,
+    last: Option<Arc<TaskDone>>,
+    pending: Arc<Mutex<HashSet<ChunkKey>>>,
+    recorder: Option<Recorder>,
+}
+
+impl OffloadEngine {
+    /// An engine over an empty pool; `prefetch` enables the async stream.
+    pub fn new(prefetch: bool) -> Self {
+        OffloadEngine {
+            pool: HostPool::new(),
+            prefetch,
+            last: None,
+            pending: Arc::default(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a span recorder: every transfer records `offload.put` /
+    /// `offload.fetch` / `offload.prefetch` spans with actual byte counts,
+    /// and waits record `offload.wait`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Whether the asynchronous copy stream is enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch
+    }
+
+    /// Transfer and residency counters (deterministic: bookkeeping happens
+    /// at issue time regardless of copy timing).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Whether the pool holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Whether a chunk is resident.
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.pool.contains(key)
+    }
+
+    /// Offloads a shared chunk (device-to-host). The residency update is
+    /// immediate; the costed copy pass streams asynchronously when the
+    /// engine prefetches.
+    ///
+    /// # Panics
+    ///
+    /// Same double-offload condition as [`HostPool::offload`].
+    pub fn put(&mut self, key: ChunkKey, t: Arc<Tensor>) {
+        let bytes = bytes_of(&t);
+        self.pool.offload_shared(key, Arc::clone(&t));
+        if self.prefetch {
+            let rec = self.recorder.clone();
+            self.submit(move || {
+                let _s = rec.as_ref().map(|r| r.span("offload.put").bytes(bytes));
+                touch(&t);
+            });
+        } else {
+            let _s = self
+                .recorder
+                .as_ref()
+                .map(|r| r.span("offload.put").bytes(bytes));
+            touch(&t);
+        }
+    }
+
+    /// Synchronous host-to-device transfer: `consume` evicts the chunk,
+    /// otherwise the host copy stays resident. `None` when not resident.
+    pub fn fetch(&mut self, key: &ChunkKey, consume: bool) -> Option<Arc<Tensor>> {
+        let t = if consume {
+            self.pool.fetch(key)
+        } else {
+            self.pool.fetch_keep(key)
+        }?;
+        let _s = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span("offload.fetch").bytes(bytes_of(&t)));
+        touch(&t);
+        Some(t)
+    }
+
+    /// Issues an asynchronous host-to-device transfer and returns a
+    /// [`FetchHandle`] to wait on — the double-buffer primitive. Counters
+    /// update now (so statistics are identical to the synchronous path);
+    /// the copy pass runs on the stream. With prefetch disabled this
+    /// degrades to [`OffloadEngine::fetch`] behind a ready handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` already has an in-flight prefetch that no one
+    /// waited for — double-buffering the same chunk twice is a scheduler
+    /// bug, mirroring the pool's double-offload panic.
+    pub fn prefetch(&mut self, key: &ChunkKey, consume: bool) -> Option<FetchHandle> {
+        if !self.prefetch {
+            return self.fetch(key, consume).map(FetchHandle::ready);
+        }
+        assert!(
+            self.pending
+                .lock()
+                .expect("pending prefetch set")
+                .insert(*key),
+            "chunk {key:?} prefetched twice without a wait"
+        );
+        let t = if consume {
+            self.pool.fetch(key)
+        } else {
+            self.pool.fetch_keep(key)
+        };
+        let Some(t) = t else {
+            self.pending.lock().expect("pending prefetch set").remove(key);
+            return None;
+        };
+        let bytes = bytes_of(&t);
+        let rec = self.recorder.clone();
+        let data = Arc::clone(&t);
+        let done = self.submit(move || {
+            let _s = rec.as_ref().map(|r| r.span("offload.prefetch").bytes(bytes));
+            touch(&data);
+        });
+        Some(FetchHandle {
+            data: t,
+            done,
+            key: *key,
+            pending: Some(Arc::clone(&self.pending)),
+            recorder: self.recorder.clone(),
+            bytes,
+        })
+    }
+
+    /// Drops a resident chunk without a transfer. Returns whether it was
+    /// present.
+    pub fn discard(&mut self, key: &ChunkKey) -> bool {
+        self.pool.discard(key)
+    }
+
+    /// Blocks until every queued copy has completed (the stream is idle).
+    pub fn drain(&mut self) {
+        if let Some(d) = self.last.take() {
+            d.wait();
+        }
+    }
+
+    /// Submits one copy pass to the stream: it first waits for the
+    /// previous pass (FIFO, one transfer in flight — a single PCIe link),
+    /// then runs `f`. Returns the completion state when the pass went
+    /// async, `None` when it ran inline (single-thread budget).
+    fn submit(&mut self, f: impl FnOnce() + Send + 'static) -> Option<Arc<TaskDone>> {
+        let prev = self.last.take();
+        let done = Arc::new(TaskDone::default());
+        let signal = Arc::clone(&done);
+        let task = move || {
+            let _signal = SignalOnDrop(signal);
+            if let Some(p) = prev {
+                p.wait();
+            }
+            f();
+        };
+        if par::spawn_task(Box::new(task)) {
+            self.last = Some(Arc::clone(&done));
+            Some(done)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for OffloadEngine {
+    fn drop(&mut self) {
+        // Workers only read Arc-shared data, so dropping early is safe;
+        // draining just keeps span timelines from outliving their run.
+        self.drain();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rayon::pool as thread_pool;
+    use std::sync::MutexGuard;
 
     #[test]
     fn offload_fetch_round_trip() {
@@ -183,33 +521,47 @@ mod tests {
         assert!(pool.contains(&key));
         assert_eq!(pool.len(), 1);
         let back = pool.fetch(&key).unwrap();
-        assert_eq!(back, t);
+        assert_eq!(*back, t);
         assert!(pool.is_empty());
-        assert_eq!(pool.fetch(&key), None);
+        assert!(pool.fetch(&key).is_none());
     }
 
     #[test]
-    fn stats_track_transfers_and_peak() {
+    fn stats_track_transfers_peak_and_directions() {
         let mut pool = HostPool::new();
         pool.offload(ChunkKey::new(0, BufKind::K, 0), Tensor::zeros(&[10]));
         pool.offload(ChunkKey::new(0, BufKind::V, 0), Tensor::zeros(&[10]));
         assert_eq!(pool.stats().offloads, 2);
         assert_eq!(pool.stats().bytes, 80);
+        assert_eq!(pool.stats().bytes_offloaded, 80);
         pool.fetch(&ChunkKey::new(0, BufKind::K, 0)).unwrap();
         assert_eq!(pool.stats().fetches, 1);
         assert_eq!(pool.stats().bytes, 40);
         assert_eq!(pool.stats().peak_bytes, 80);
+        assert_eq!(pool.stats().bytes_fetched, 40);
+        // keep-fetches count as host-to-device traffic too
+        pool.fetch_keep(&ChunkKey::new(0, BufKind::V, 0)).unwrap();
+        assert_eq!(pool.stats().bytes_fetched, 80);
+        assert_eq!(pool.stats().bytes_offloaded, 80, "no new offloads");
     }
 
     #[test]
-    fn fetch_keep_leaves_resident() {
+    fn fetch_keep_is_zero_copy() {
         let mut pool = HostPool::new();
         let key = ChunkKey::new(1, BufKind::Q, 0);
-        pool.offload(key, Tensor::ones(&[4]));
+        let t = Arc::new(Tensor::ones(&[4]));
+        pool.offload_shared(key, Arc::clone(&t));
         let a = pool.fetch_keep(&key).unwrap();
-        assert!(pool.contains(&key));
-        assert_eq!(a.numel(), 4);
-        assert_eq!(pool.stats().fetches, 1);
+        let b = pool.fetch_keep(&key).unwrap();
+        // Every fetch returns the same allocation the caller offloaded —
+        // no clone anywhere in the pool.
+        assert!(Arc::ptr_eq(&a, &t));
+        assert!(std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+        // caller + pool + two keeps = 4 refs, one buffer
+        assert_eq!(Arc::strong_count(&t), 4);
+        let c = pool.fetch(&key).unwrap();
+        assert!(Arc::ptr_eq(&c, &t));
+        assert_eq!(pool.stats().fetches, 3);
     }
 
     #[test]
@@ -221,6 +573,7 @@ mod tests {
         assert_eq!(pool.stats().bytes, 0);
         assert_eq!(pool.stats().offloads, 1);
         assert_eq!(pool.stats().peak_bytes, 20);
+        assert_eq!(pool.stats().bytes_offloaded, 20);
     }
 
     #[test]
@@ -230,5 +583,107 @@ mod tests {
         let key = ChunkKey::new(0, BufKind::K, 0);
         pool.offload(key, Tensor::zeros(&[1]));
         pool.offload(key, Tensor::zeros(&[1]));
+    }
+
+    // ---- engine tests ----
+    //
+    // Engine tests that force the async path mutate the global thread
+    // budget; serialize them so restores don't race each other.
+    static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+    struct ForcedThreads<'a> {
+        _guard: MutexGuard<'a, ()>,
+        prev: usize,
+    }
+
+    impl ForcedThreads<'_> {
+        fn new(n: usize) -> Self {
+            let guard = THREADS_LOCK.lock().unwrap();
+            ForcedThreads {
+                _guard: guard,
+                prev: thread_pool::set_threads(n),
+            }
+        }
+    }
+
+    impl Drop for ForcedThreads<'_> {
+        fn drop(&mut self) {
+            thread_pool::set_threads(self.prev);
+        }
+    }
+
+    #[test]
+    fn prefetch_wait_returns_the_pooled_buffer() {
+        let _t = ForcedThreads::new(8);
+        let mut eng = OffloadEngine::new(true);
+        let key = ChunkKey::new(0, BufKind::K, 0);
+        let t = Arc::new(Tensor::arange(64));
+        eng.put(key, Arc::clone(&t));
+        let h = eng.prefetch(&key, false).expect("resident");
+        let got = h.wait();
+        assert!(Arc::ptr_eq(&got, &t), "prefetch is zero-copy");
+        assert!(eng.contains(&key), "keep-mode leaves the host copy");
+        let h2 = eng.prefetch(&key, true).expect("resident");
+        assert!(Arc::ptr_eq(&h2.wait(), &t));
+        assert!(eng.is_empty());
+        assert_eq!(eng.stats().fetches, 2);
+        eng.drain();
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetched twice")]
+    fn double_prefetch_without_wait_is_a_bug() {
+        let mut eng = OffloadEngine::new(true);
+        let key = ChunkKey::new(0, BufKind::V, 3);
+        eng.put(key, Arc::new(Tensor::zeros(&[8])));
+        let _first = eng.prefetch(&key, false).expect("resident");
+        // still un-waited -> scheduler bug
+        let _second = eng.prefetch(&key, false);
+    }
+
+    #[test]
+    fn prefetch_missing_chunk_is_none_and_clears_pending() {
+        let mut eng = OffloadEngine::new(true);
+        let key = ChunkKey::new(7, BufKind::Q, 1);
+        assert!(eng.prefetch(&key, true).is_none());
+        // the failed prefetch must not leave `key` marked in flight
+        eng.put(key, Arc::new(Tensor::zeros(&[4])));
+        let h = eng.prefetch(&key, true).expect("resident now");
+        assert_eq!(h.wait().numel(), 4);
+    }
+
+    #[test]
+    fn sync_and_async_paths_keep_identical_stats() {
+        let run = |prefetch: bool| {
+            let _t = ForcedThreads::new(8);
+            let mut eng = OffloadEngine::new(prefetch);
+            for i in 0..4usize {
+                eng.put(ChunkKey::new(0, BufKind::K, i), Arc::new(Tensor::ones(&[16])));
+            }
+            for i in 0..4usize {
+                let key = ChunkKey::new(0, BufKind::K, i);
+                if prefetch {
+                    eng.prefetch(&key, true).expect("resident").wait();
+                } else {
+                    eng.fetch(&key, true).expect("resident");
+                }
+            }
+            eng.drain();
+            eng.stats()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn handle_drop_without_wait_still_synchronizes() {
+        let _t = ForcedThreads::new(8);
+        let mut eng = OffloadEngine::new(true);
+        let key = ChunkKey::new(2, BufKind::DQ, 0);
+        eng.put(key, Arc::new(Tensor::zeros(&[32])));
+        drop(eng.prefetch(&key, false));
+        // pending cleared -> a fresh prefetch of the same key is legal
+        let h = eng.prefetch(&key, true).expect("resident");
+        assert_eq!(h.wait().numel(), 32);
+        eng.drain();
     }
 }

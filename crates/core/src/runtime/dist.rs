@@ -11,7 +11,9 @@
 use crate::chunk::ChunkPlan;
 use crate::offload::PoolStats;
 use crate::runtime::data::Corpus;
-use crate::runtime::exec::{AttentionExec, DistAttention, LocalAttention, RingAttentionExec};
+use crate::runtime::exec::{
+    AttentionExec, DistAttention, ExecOpts, LocalAttention, RingAttentionExec,
+};
 use crate::runtime::gpt::GptModel;
 use fpdt_comm::run_group;
 use fpdt_model::config::ModelConfig;
@@ -84,6 +86,11 @@ pub struct TrainConfig {
     /// (0 = constant LR). Applied identically in every mode, so the
     /// equivalence claims are schedule-independent.
     pub warmup_steps: usize,
+    /// Overrides the offload copy stream's prefetch setting (`Some(false)`
+    /// forces synchronous transfers, `Some(true)` forces the asynchronous
+    /// double-buffered stream). `None` defers to the `FPDT_PREFETCH`
+    /// environment default. Bitwise-identical either way.
+    pub prefetch: Option<bool>,
 }
 
 impl Default for TrainConfig {
@@ -107,6 +114,7 @@ impl TrainConfig {
             activation_checkpoint: false,
             grad_accum: 1,
             warmup_steps: 0,
+            prefetch: None,
         }
     }
 }
@@ -131,9 +139,13 @@ fn training_loop(
     rank: usize,
     plan: Option<&ChunkPlan>,
     exec: &mut dyn AttentionExec,
+    recorder: Option<&Recorder>,
     mut sync_and_step: impl FnMut(&mut GptModel, &mut AdamW, f32, usize) -> (f32, usize),
 ) -> (Vec<f32>, usize) {
     let mut model = GptModel::new(&cfg.model, cfg.seed);
+    if let Some(rec) = recorder {
+        model = model.with_recorder(rec.clone());
+    }
     let mut opt = AdamW::new(AdamWConfig {
         lr: cfg.lr,
         ..Default::default()
@@ -217,7 +229,7 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
         Mode::Single => {
             let mut exec = LocalAttention::new(1);
             let (losses, opt_state_bytes) =
-                training_loop(cfg, 0, None, &mut exec, |model, opt, ls, tok| {
+                training_loop(cfg, 0, None, &mut exec, recorder, |model, opt, ls, tok| {
                     let flat = model.collect_grads();
                     model.set_grads(&flat, 1.0 / tok as f32);
                     model.optimizer_step(opt);
@@ -257,7 +269,11 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
                     ring_exec = RingAttentionExec::new(&comm, cfg.seq);
                     &mut ring_exec
                 } else {
-                    let mut ex = DistAttention::new(&comm, plan, offload);
+                    let mut opts = ExecOpts::new(offload);
+                    if let Some(p) = cfg.prefetch {
+                        opts.prefetch = p;
+                    }
+                    let mut ex = DistAttention::with_opts(&comm, plan, opts);
                     if let Some(rec) = recorder {
                         ex = ex.with_recorder(rec.clone());
                     }
@@ -266,7 +282,7 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
                 };
                 let rank = comm.rank();
                 let (losses, opt_bytes) =
-                    training_loop(cfg, rank, Some(&plan), exec, |model, opt, ls, tok| {
+                    training_loop(cfg, rank, Some(&plan), exec, recorder, |model, opt, ls, tok| {
                         // deterministic rank-order reductions; gradients go
                         // through the chunked reducer (future-work fix: the
                         // staging transient is capped at two buckets instead
@@ -429,7 +445,14 @@ mod tests {
         // Tracing must not perturb the trajectory.
         assert_eq!(r.losses, train(&cfg).losses);
         // Every instrumented phase shows up.
-        for prefix in ["a2a.", "attn.fwd.", "attn.bwd.", "offload.", "allreduce."] {
+        for prefix in [
+            "a2a.",
+            "attn.fwd.",
+            "attn.bwd.",
+            "offload.",
+            "allreduce.",
+            "block.",
+        ] {
             assert!(rec.total_us(prefix) >= 0.0);
             assert!(
                 rec.records().iter().any(|s| s.label.starts_with(prefix)),

@@ -13,6 +13,7 @@ use fpdt_model::config::{Family, ModelConfig};
 use fpdt_tensor::nn::{AdamW, Embedding, LayerNorm, Linear, RmsNorm};
 use fpdt_tensor::ops::{self, LayerNormCtx, RmsNormCtx};
 use fpdt_tensor::{init, Tensor};
+use fpdt_trace::Recorder;
 
 /// Target id that contributes neither loss nor gradient.
 pub const IGNORE_INDEX: usize = usize::MAX;
@@ -399,6 +400,7 @@ pub struct GptModel {
     blocks: Vec<Block>,
     norm_f: Norm,
     head: Linear,
+    recorder: Option<Recorder>,
 }
 
 impl GptModel {
@@ -413,7 +415,17 @@ impl GptModel {
             blocks,
             norm_f: Norm::new(cfg.family, cfg.hidden),
             head: Linear::new(cfg.hidden, cfg.vocab, false, &mut rng),
+            recorder: None,
         }
+    }
+
+    /// Attaches a span recorder: each block's forward and backward record
+    /// `block.fwd` / `block.bwd` compute spans, which the runtime bench
+    /// intersects with the offload copy spans to measure overlap.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The configuration this model was built from.
@@ -451,10 +463,12 @@ impl GptModel {
             )
             .into());
         }
+        let rec = self.recorder.clone();
         // ---- forward ----
         let mut x = self.emb.forward(tokens)?;
         let mut ctxs = Vec::with_capacity(self.blocks.len());
         for (layer, block) in self.blocks.iter().enumerate() {
+            let _s = rec.as_ref().map(|r| r.span("block.fwd"));
             let (nx, ctx) = block.forward(layer, &x, pos, exec, mlp_chunks)?;
             ctxs.push(ctx);
             x = nx;
@@ -478,6 +492,7 @@ impl GptModel {
         // ---- backward ----
         let mut dx = self.norm_f.backward(&x, &nf_ctx, &dxf)?;
         for (layer, block) in self.blocks.iter_mut().enumerate().rev() {
+            let _s = rec.as_ref().map(|r| r.span("block.bwd"));
             dx = block.backward(layer, &ctxs[layer], &dx, pos, exec, mlp_chunks)?;
         }
         self.emb.backward(tokens, &dx)?;
@@ -511,11 +526,13 @@ impl GptModel {
         if targets.len() != s || pos.len() != s {
             return Err("tokens/targets/pos length mismatch".into());
         }
+        let rec = self.recorder.clone();
         // ---- forward, saving only block inputs ----
         let mut x = self.emb.forward(tokens)?;
         let mut checkpoints: Vec<Tensor> = Vec::with_capacity(self.blocks.len());
         for (layer, block) in self.blocks.iter().enumerate() {
             checkpoints.push(x.clone());
+            let _s = rec.as_ref().map(|r| r.span("block.fwd"));
             let (nx, ctx) = block.forward(layer, &x, pos, exec, mlp_chunks)?;
             drop(ctx); // checkpointing: keep nothing but the input
             exec.discard(layer);
@@ -545,10 +562,12 @@ impl GptModel {
             // the executor's cached chunks (in the real system this is
             // where chunks stream back out to host memory again).
             let ctx = {
+                let _s = rec.as_ref().map(|r| r.span("block.fwd"));
                 let block = &self.blocks[layer];
                 let (_, ctx) = block.forward(layer, x_in, pos, exec, mlp_chunks)?;
                 ctx
             };
+            let _s = rec.as_ref().map(|r| r.span("block.bwd"));
             dx = self.blocks[layer].backward(layer, &ctx, &dx, pos, exec, mlp_chunks)?;
         }
         self.emb.backward(tokens, &dx)?;

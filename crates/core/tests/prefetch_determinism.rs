@@ -1,0 +1,154 @@
+//! End-to-end bitwise equivalence of the overlapped offload runtime.
+//!
+//! The async copy stream must be a pure latency optimisation: with the
+//! host pool sharing chunk storage (`Arc<Tensor>`) and all residency
+//! bookkeeping done synchronously on the rank thread, enabling prefetch
+//! can reorder *when* the simulated transfers run but never what any
+//! kernel reads. This suite proves it end to end: a 2-layer / 4-chunk
+//! distributed model produces bitwise identical losses and gradients with
+//! prefetch on, prefetch off, and prefetch on under different kernel-pool
+//! thread budgets — and a full training run reports identical host-pool
+//! traffic either way.
+
+use fpdt_comm::run_group;
+use fpdt_core::chunk::ChunkPlan;
+use fpdt_core::runtime::data::Corpus;
+use fpdt_core::runtime::dist::{train, Mode, TrainConfig};
+use fpdt_core::runtime::exec::{DistAttention, ExecOpts};
+use fpdt_core::runtime::gpt::GptModel;
+use fpdt_model::config::ModelConfig;
+use fpdt_tensor::par;
+use rayon::pool;
+use std::sync::{Mutex, MutexGuard};
+
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+struct ForcedParallel<'a> {
+    _guard: MutexGuard<'a, ()>,
+    prev_threshold: usize,
+    prev_threads: usize,
+}
+
+impl ForcedParallel<'_> {
+    fn new(threads: usize) -> Self {
+        let guard = CONFIG_LOCK.lock().unwrap();
+        ForcedParallel {
+            _guard: guard,
+            prev_threshold: par::set_par_threshold(1),
+            prev_threads: pool::set_threads(threads),
+        }
+    }
+}
+
+impl Drop for ForcedParallel<'_> {
+    fn drop(&mut self) {
+        pool::set_threads(self.prev_threads);
+        par::set_par_threshold(self.prev_threshold);
+    }
+}
+
+/// One full forward/backward of the distributed model with an explicit
+/// [`ExecOpts`]; returns every rank's (loss_sum, flat gradient vector).
+/// Same fixture as `thread_determinism.rs::grad_run`, 4 chunks.
+fn grad_run(seed: u64, world: usize, prefetch: bool) -> Vec<(f32, Vec<f32>)> {
+    let model_cfg = ModelConfig::tiny(2, 32, 4, 50);
+    let seq = 64usize;
+    let chunks = 4usize;
+    run_group(world, |comm| {
+        let plan = ChunkPlan::new(seq, world, chunks).expect("valid plan");
+        let rank = comm.rank();
+        let mut corpus = Corpus::new(model_cfg.vocab, 0.05, seed ^ 0x5eed);
+        let (gx, gy) = corpus.sample(seq);
+        let (tokens, targets, pos) = (
+            plan.shard(rank, &gx),
+            plan.shard(rank, &gy),
+            plan.local_positions(rank),
+        );
+        let mut model = GptModel::new(&model_cfg, seed);
+        let opts = ExecOpts {
+            offload: true,
+            prefetch,
+        };
+        let mut exec = DistAttention::with_opts(&comm, plan, opts);
+        model.zero_grad();
+        let stats = model
+            .forward_backward(&mut exec, &tokens, &targets, &pos, 2 * chunks, 2)
+            .expect("forward/backward succeeds");
+        (stats.loss_sum, model.collect_grads())
+    })
+}
+
+fn assert_bitwise_equal(a: &[(f32, Vec<f32>)], b: &[(f32, Vec<f32>)], what: &str) {
+    for (rank, ((la, ga), (lb, gb))) in a.iter().zip(b).enumerate() {
+        assert!(
+            la.to_bits() == lb.to_bits(),
+            "rank {rank} loss differs ({what}): {la} vs {lb}"
+        );
+        let ga_bits: Vec<u32> = ga.iter().map(|x| x.to_bits()).collect();
+        let gb_bits: Vec<u32> = gb.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ga_bits, gb_bits, "rank {rank} gradient bits differ ({what})");
+    }
+}
+
+#[test]
+fn prefetch_on_off_and_thread_budgets_are_bitwise_identical() {
+    let reference = {
+        let _cfg = ForcedParallel::new(1);
+        grad_run(42, 2, false)
+    };
+    assert!(
+        reference.iter().any(|(_, g)| g.iter().any(|&x| x != 0.0)),
+        "all-zero gradients would make the comparison vacuous"
+    );
+    // Prefetch off at 8 threads, prefetch on at 1/2/8: all must match the
+    // serial no-prefetch run bit for bit.
+    let off_8 = {
+        let _cfg = ForcedParallel::new(8);
+        grad_run(42, 2, false)
+    };
+    assert_bitwise_equal(&reference, &off_8, "prefetch off, 8 threads");
+    for threads in [1usize, 2, 8] {
+        let on = {
+            let _cfg = ForcedParallel::new(threads);
+            grad_run(42, 2, true)
+        };
+        assert_bitwise_equal(&reference, &on, &format!("prefetch on, {threads} threads"));
+    }
+}
+
+#[test]
+fn training_reports_identical_losses_and_pool_traffic_either_way() {
+    // Whole training loop (optimizer steps included) through the public
+    // `train` entry point: the prefetch knob must change neither the loss
+    // trajectory nor a single pool counter.
+    let base = TrainConfig {
+        model: ModelConfig::tiny(2, 32, 4, 50),
+        world: 2,
+        seq: 64,
+        steps: 3,
+        mode: Mode::Fpdt {
+            chunks: 4,
+            offload: true,
+        },
+        ..TrainConfig::default()
+    };
+    let (on, off) = {
+        let _cfg = ForcedParallel::new(4);
+        let on = train(&TrainConfig {
+            prefetch: Some(true),
+            ..base.clone()
+        });
+        let off = train(&TrainConfig {
+            prefetch: Some(false),
+            ..base.clone()
+        });
+        (on, off)
+    };
+    let on_bits: Vec<u32> = on.losses.iter().map(|x| x.to_bits()).collect();
+    let off_bits: Vec<u32> = off.losses.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(on_bits, off_bits, "loss trajectories differ");
+    assert_eq!(on.host, off.host, "host-pool statistics differ");
+    assert!(on.host.fetches > 0, "offload mode must actually fetch");
+    assert!(on.host.bytes_fetched > 0, "fetch byte counter must move");
+    assert!(on.host.bytes_offloaded > 0, "offload byte counter must move");
+}

@@ -27,4 +27,4 @@ pub mod span;
 
 pub use chrome::sim_chrome_trace;
 pub use metrics::ScheduleMetrics;
-pub use span::{Recorder, Span};
+pub use span::{overlap_fraction, Recorder, Span, SpanRecord};

@@ -147,6 +147,16 @@ impl Recorder {
             .sum()
     }
 
+    /// Total payload bytes recorded under labels starting with `prefix`
+    /// (spans without a [`Span::bytes`] payload contribute nothing).
+    pub fn total_bytes(&self, prefix: &str) -> u64 {
+        self.records()
+            .iter()
+            .filter(|s| s.label.starts_with(prefix))
+            .filter_map(|s| s.bytes)
+            .sum()
+    }
+
     fn tid(&self) -> u64 {
         let mut threads = self.inner.threads.lock().expect("thread table");
         let next = threads.len() as u64;
@@ -182,6 +192,67 @@ impl Drop for Span {
         self.recorder
             .record(&self.label, start_us, dur_us, self.bytes);
     }
+}
+
+/// Merges a set of `[start, end)` intervals into disjoint sorted spans.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn intervals_for(records: &[SpanRecord], prefixes: &[&str]) -> Vec<(f64, f64)> {
+    merge_intervals(
+        records
+            .iter()
+            .filter(|s| prefixes.iter().any(|p| s.label.starts_with(p)))
+            .map(|s| (s.start_us, s.start_us + s.dur_us))
+            .collect(),
+    )
+}
+
+/// Fraction of the copy busy time that ran concurrently with compute —
+/// the paper's Figure-13 overlap claim, measured on wall-clock spans.
+///
+/// `copy_prefixes` selects the transfer spans (e.g. `"offload."`),
+/// `compute_prefixes` the compute spans (e.g. `"kernel."`). Both sets are
+/// merged into disjoint wall-clock intervals; the result is
+/// `|copy ∩ compute| / |copy|`, or `0.0` when no copy time was recorded.
+/// A perfectly hidden copy stream scores 1.0; a fully synchronous runtime
+/// (transfers on the compute thread, between kernels) scores 0.0.
+pub fn overlap_fraction(
+    records: &[SpanRecord],
+    copy_prefixes: &[&str],
+    compute_prefixes: &[&str],
+) -> f64 {
+    let copy = intervals_for(records, copy_prefixes);
+    let compute = intervals_for(records, compute_prefixes);
+    let copy_busy: f64 = copy.iter().map(|(s, e)| e - s).sum();
+    if copy_busy <= 0.0 {
+        return 0.0;
+    }
+    // Two-pointer sweep over the two sorted disjoint interval lists.
+    let mut overlap = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < copy.len() && j < compute.len() {
+        let lo = copy[i].0.max(compute[j].0);
+        let hi = copy[i].1.min(compute[j].1);
+        if hi > lo {
+            overlap += hi - lo;
+        }
+        if copy[i].1 <= compute[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    overlap / copy_busy
 }
 
 #[cfg(test)]
@@ -227,8 +298,48 @@ mod tests {
     fn totals_by_prefix() {
         let rec = Recorder::new();
         rec.record("offload.put", 0.0, 10.0, None);
-        rec.record("offload.fetch", 10.0, 5.0, None);
-        rec.record("attn.chunk", 0.0, 100.0, None);
+        rec.record("offload.fetch", 10.0, 5.0, Some(64));
+        rec.record("attn.chunk", 0.0, 100.0, Some(128));
         assert!((rec.total_us("offload.") - 15.0).abs() < 1e-9);
+        assert_eq!(rec.total_bytes("offload."), 64);
+        assert_eq!(rec.total_bytes("attn."), 128);
+    }
+
+    fn rec(label: &str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            label: label.to_string(),
+            tid: 0,
+            start_us: start,
+            dur_us: dur,
+            bytes: None,
+        }
+    }
+
+    #[test]
+    fn overlap_full_partial_and_none() {
+        // copy [0,10) entirely inside compute [0,20) -> 1.0
+        let full = vec![rec("offload.prefetch", 0.0, 10.0), rec("kernel.x", 0.0, 20.0)];
+        assert!((overlap_fraction(&full, &["offload."], &["kernel."]) - 1.0).abs() < 1e-9);
+
+        // copy [0,10) vs compute [5,15) -> half the copy overlaps
+        let part = vec![rec("offload.put", 0.0, 10.0), rec("kernel.x", 5.0, 10.0)];
+        assert!((overlap_fraction(&part, &["offload."], &["kernel."]) - 0.5).abs() < 1e-9);
+
+        // strictly sequential -> 0.0; and no copy spans at all -> 0.0
+        let none = vec![rec("offload.fetch", 0.0, 10.0), rec("kernel.x", 10.0, 10.0)];
+        assert_eq!(overlap_fraction(&none, &["offload."], &["kernel."]), 0.0);
+        assert_eq!(overlap_fraction(&[], &["offload."], &["kernel."]), 0.0);
+    }
+
+    #[test]
+    fn overlap_merges_overlapping_spans_per_set() {
+        // Two copy spans that themselves overlap must not double-count:
+        // merged copy busy = [0,15), compute = [0,30) -> fraction 1.0.
+        let r = vec![
+            rec("offload.put", 0.0, 10.0),
+            rec("offload.prefetch", 5.0, 10.0),
+            rec("kernel.a", 0.0, 30.0),
+        ];
+        assert!((overlap_fraction(&r, &["offload."], &["kernel."]) - 1.0).abs() < 1e-9);
     }
 }

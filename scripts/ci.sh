@@ -34,9 +34,29 @@ if ! grep -q '^BENCH_JSON_OK .*BENCH_kernels\.json$' <<<"$out"; then
     exit 1
 fi
 
+echo "==> runtime --json --quick smoke (overlap must be measurable)"
+out=$(cargo run -q --release -p fpdt-bench --bin runtime -- --json --quick)
+echo "$out"
+# The runtime bench asserts bitwise-identical losses with the copy stream
+# on and off, validates BENCH_runtime.json, and exits nonzero when the
+# prefetch-enabled run measures zero compute/copy overlap.
+if ! grep -q '^BENCH_JSON_OK .*BENCH_runtime\.json$' <<<"$out"; then
+    echo "FAIL: runtime --json did not validate BENCH_runtime.json" >&2
+    exit 1
+fi
+if ! grep -q '^RUNTIME_OVERLAP_OK ' <<<"$out"; then
+    echo "FAIL: prefetch-enabled run measured no compute/copy overlap" >&2
+    exit 1
+fi
+
 echo "==> cargo test -q --workspace under FPDT_THREADS=1"
 # The whole suite must also pass with the kernel pool pinned to a single
 # thread (the sequential fast path) — same numbers, same results.
 FPDT_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace under FPDT_PREFETCH=0"
+# And with the async copy stream globally disabled: prefetch is a latency
+# optimisation, never a semantic one.
+FPDT_PREFETCH=0 cargo test -q --workspace
 
 echo "CI OK"

@@ -95,9 +95,17 @@ impl Job {
     }
 }
 
+/// One unit the injector queue hands a worker: either a claim ticket for
+/// an indexed fan-out, or a one-shot closure (the offload copy stream's
+/// asynchronous transfers ride on the same workers as the kernels).
+enum Work {
+    Fanout(Arc<Job>),
+    Oneshot(Box<dyn FnOnce() + Send + 'static>),
+}
+
 /// Shared injector queue feeding the persistent workers.
 struct Pool {
-    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue: Mutex<VecDeque<Work>>,
     available: Condvar,
     spawned: AtomicUsize,
 }
@@ -105,16 +113,24 @@ struct Pool {
 impl Pool {
     fn worker_loop(&self) {
         loop {
-            let job = {
+            let work = {
                 let mut q = self.queue.lock().expect("pool queue");
                 loop {
-                    if let Some(job) = q.pop_front() {
-                        break job;
+                    if let Some(work) = q.pop_front() {
+                        break work;
                     }
                     q = self.available.wait(q).expect("pool queue");
                 }
             };
-            job.run();
+            match work {
+                Work::Fanout(job) => job.run(),
+                // A panicking one-shot must not kill the worker; callers
+                // that need completion signaling are responsible for
+                // panic-safe signaling inside `f` (e.g. a drop guard).
+                Work::Oneshot(f) => {
+                    let _ = catch_unwind(AssertUnwindSafe(f));
+                }
+            }
         }
     }
 
@@ -139,11 +155,28 @@ impl Pool {
         self.ensure_workers(helpers);
         let mut q = self.queue.lock().expect("pool queue");
         for _ in 0..helpers {
-            q.push_back(Arc::clone(job));
+            q.push_back(Work::Fanout(Arc::clone(job)));
         }
         drop(q);
         self.available.notify_all();
     }
+}
+
+/// Runs `f` once on a pool worker, asynchronously. The queue is FIFO, so
+/// one-shots submitted in sequence begin in submission order (they may
+/// still run concurrently on different workers — callers wanting stream
+/// semantics chain their own completion states). There is no join handle;
+/// `f` must signal completion itself, panic-safely, if anyone waits on it.
+pub fn spawn(f: Box<dyn FnOnce() + Send + 'static>) {
+    let p = pool();
+    // One worker per registered device thread is enough for copy streams:
+    // transfers serialize per rank anyway, and the pool spawns past the
+    // hardware thread count so this works on any host.
+    p.ensure_workers(device_threads());
+    let mut q = p.queue.lock().expect("pool queue");
+    q.push_back(Work::Oneshot(f));
+    drop(q);
+    p.available.notify_one();
 }
 
 fn pool() -> &'static Pool {
@@ -252,4 +285,37 @@ pub fn parallel_for(total: usize, task: &(dyn Fn(usize) + Sync)) {
         !job.poisoned.load(Ordering::Relaxed),
         "parallel_for: a kernel task panicked on a pool worker"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn spawn_runs_oneshot_off_thread() {
+        let (tx, rx) = mpsc::channel();
+        let caller = std::thread::current().id();
+        spawn(Box::new(move || {
+            tx.send(std::thread::current().id()).expect("receiver alive");
+        }));
+        let worker = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("one-shot ran");
+        assert_ne!(worker, caller, "one-shot must run on a pool worker");
+    }
+
+    #[test]
+    fn spawn_survives_a_panicking_oneshot() {
+        spawn(Box::new(|| panic!("intentional")));
+        // The worker that ate the panic must still serve later work.
+        let (tx, rx) = mpsc::channel();
+        spawn(Box::new(move || {
+            tx.send(7u32).expect("receiver alive");
+        }));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Ok(7)
+        );
+    }
 }
