@@ -34,7 +34,7 @@ fn bench_all_gather_reduce_scatter(c: &mut Criterion) {
         b.iter(|| {
             run_group(WORLD, |comm| {
                 let mine = vec![comm.rank() as f32; n];
-                black_box(comm.all_gather(&mine))
+                black_box(comm.all_gather(&mine).unwrap())
             })
         })
     });

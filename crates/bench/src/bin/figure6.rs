@@ -63,7 +63,7 @@ fn main() {
             let refs: Vec<&Tensor> = parts.iter().collect();
             Tensor::concat(&refs, 0).unwrap()
         };
-        let mut ex = DistAttention::new(&comm, plan, true);
+        let mut ex = DistAttention::new(std::sync::Arc::new(comm), plan, true);
         let pos = plan.local_positions(rank);
         let o = ex
             .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)

@@ -1,46 +1,60 @@
-//! Runtime-throughput benchmark for the overlapped offload engine: trains
-//! the real FPDT runtime with the asynchronous copy stream on and off and
-//! measures tokens/s, the compute/copy overlap fraction (paper Figure 13,
-//! on wall-clock spans rather than the simulator), and the wait-time
-//! breakdown — asserting on every run that the two configurations produce
-//! bitwise-identical losses.
+//! Runtime-throughput benchmark for the overlapped runtime: trains the
+//! real FPDT runtime with the asynchronous copy stream and the
+//! asynchronous communication stream toggled, and measures tokens/s, the
+//! compute/copy overlap fraction (paper Figure 13, on wall-clock spans
+//! rather than the simulator), the compute/comm overlap fraction, and the
+//! wait-time breakdowns — asserting on every run that all configurations
+//! produce bitwise-identical losses.
 //!
-//! The run uses one rank so the overlap signal is unambiguous: with
-//! prefetch off every transfer serializes on the rank's thread (overlap
-//! ~0); with prefetch on transfers ride pool workers and their spans
-//! intersect the compute spans.
+//! The run uses one rank so the overlap signals are unambiguous: with a
+//! stream off every transfer (or collective) serializes on the rank's
+//! thread (overlap ~0); with it on the work rides a helper thread and its
+//! spans intersect the compute spans.
 //!
 //! Pass `--json` to suppress the table and emit only
 //! `target/experiments/BENCH_runtime.json`; `--quick` shrinks the run for
 //! CI smoke tests. Set `FPDT_DUMP_TRACE=1` to also write per-run Chrome
-//! traces (`runtime_trace_prefetch_{true,false}.json`) for Perfetto.
+//! traces (`runtime_trace_prefetch_{p}_comm_{c}.json`) for Perfetto.
 
 use fpdt_bench::json_mode;
 use fpdt_core::runtime::dist::{train_traced, Mode, TrainConfig};
+use fpdt_core::runtime::RuntimeOptions;
 use fpdt_model::config::ModelConfig;
-use fpdt_trace::{overlap_fraction, Recorder};
+use fpdt_trace::{cross_thread_overlap_fraction, Recorder};
 use rayon::pool;
 use serde::Serialize;
 use std::time::Instant;
 
 /// Copy-stream span labels (both directions).
 const COPY: &[&str] = &["offload.prefetch", "offload.put", "offload.fetch"];
-/// Leaf compute spans. Deliberately excludes the enclosing
-/// `attn.fwd.chunk`/`block.*` phase spans, whose intervals contain the
-/// synchronous transfers issued between kernels — counting those would
-/// report fake overlap for a fully serial runtime.
-const COMPUTE: &[&str] = &["kernel.", "attn.bwd.tile"];
+/// Comm-stream wire occupancy.
+const COMM: &[&str] = &["comm.inflight"];
+/// Compute-phase spans, all recorded on the rank thread. Broad phase
+/// prefixes are safe because both overlap metrics are *cross-thread*:
+/// with a stream off its work runs inline on the rank thread — nested
+/// inside these very spans — and one thread cannot overlap itself, so a
+/// serial runtime scores exactly 0 instead of fake nesting overlap.
+/// (The stream-on signal is robust for the same reason: async spans ride
+/// a worker thread while the rank thread is nearly always inside a
+/// phase span, instead of racing 5 µs transfers against the scheduling
+/// gap before the next leaf kernel.)
+const COMPUTE: &[&str] = &["block.", "attn.", "kernel."];
 
 #[derive(Serialize, Clone)]
 struct Row {
     prefetch: bool,
+    comm_async: bool,
     wall_ms: f64,
     tokens_per_s: f64,
     overlap_fraction: f64,
+    comm_overlap_fraction: f64,
     copy_busy_us: f64,
     wait_us: f64,
+    comm_busy_us: f64,
+    comm_wait_us: f64,
     bytes_h2d: u64,
     bytes_d2h: u64,
+    bytes_a2a: u64,
     loss_digest: u64,
 }
 
@@ -77,14 +91,14 @@ fn main() {
     let (seq, steps) = if quick { (256, 2) } else { (256, 3) };
     let chunks = 4usize;
 
-    // The copy stream needs a helper-thread budget to go asynchronous; a
+    // Both streams need a helper-thread budget to go asynchronous; a
     // single-core CI host would otherwise run every transfer inline and
     // measure zero overlap by construction (the pool spawns workers past
     // the hardware count, so this works on any machine).
     let prev_threads = pool::set_threads(pool::current_threads().max(4));
     let threads = pool::current_threads();
 
-    let run = |prefetch: bool| {
+    let run = |prefetch: bool, comm_async: bool| {
         let cfg = TrainConfig {
             model: ModelConfig::tiny(2, 64, 4, 50),
             world: 1,
@@ -94,7 +108,9 @@ fn main() {
                 chunks,
                 offload: true,
             },
-            prefetch: Some(prefetch),
+            runtime: RuntimeOptions::from_env()
+                .with_prefetch(prefetch)
+                .with_comm_async(comm_async),
             ..TrainConfig::default()
         };
         let rec = Recorder::new();
@@ -105,50 +121,69 @@ fn main() {
         if std::env::var("FPDT_DUMP_TRACE").is_ok() {
             std::fs::create_dir_all("target/experiments").expect("trace dir");
             std::fs::write(
-                format!("target/experiments/runtime_trace_prefetch_{prefetch}.json"),
+                format!("target/experiments/runtime_trace_prefetch_{prefetch}_comm_{comm_async}.json"),
                 rec.chrome_trace_json(),
             )
             .expect("write trace");
         }
         Row {
             prefetch,
+            comm_async,
             wall_ms: wall * 1e3,
             tokens_per_s: (seq * steps) as f64 / wall,
-            overlap_fraction: overlap_fraction(&records, COPY, COMPUTE),
+            overlap_fraction: cross_thread_overlap_fraction(&records, COPY, COMPUTE),
+            comm_overlap_fraction: cross_thread_overlap_fraction(&records, COMM, COMPUTE),
             copy_busy_us: rec.total_us("offload.prefetch")
                 + rec.total_us("offload.put")
                 + rec.total_us("offload.fetch"),
             wait_us: rec.total_us("offload.wait"),
+            comm_busy_us: rec.total_us("comm.inflight"),
+            comm_wait_us: rec.total_us("comm.wait"),
             bytes_h2d: rec.total_bytes("offload.prefetch") + rec.total_bytes("offload.fetch"),
             bytes_d2h: rec.total_bytes("offload.put"),
+            bytes_a2a: rec.total_bytes("comm.post"),
             loss_digest: digest(&report.losses),
         }
     };
 
-    let on = run(true);
-    let off = run(false);
+    // Fully overlapped, comm stream alone disabled, fully serial.
+    let on = run(true, true);
+    let comm_off = run(true, false);
+    let off = run(false, false);
     pool::set_threads(prev_threads);
 
-    let identical = on.loss_digest == off.loss_digest;
+    let identical =
+        on.loss_digest == off.loss_digest && on.loss_digest == comm_off.loss_digest;
     assert!(
         identical,
-        "prefetch on/off trajectories diverged: {:#x} vs {:#x}",
-        on.loss_digest, off.loss_digest
+        "stream on/off trajectories diverged: {:#x} / {:#x} / {:#x}",
+        on.loss_digest, comm_off.loss_digest, off.loss_digest
     );
 
-    let rows = vec![on.clone(), off.clone()];
+    let rows = vec![on.clone(), comm_off.clone(), off.clone()];
     if !quiet {
-        println!("runtime throughput: seq {seq}, {steps} steps, {chunks} chunks, {threads} threads");
         println!(
-            "{:<10}{:>10}{:>12}{:>10}{:>14}{:>12}",
-            "prefetch", "wall ms", "tokens/s", "overlap", "copy busy us", "wait us"
+            "runtime throughput: seq {seq}, {steps} steps, {chunks} chunks, {threads} threads"
+        );
+        println!(
+            "{:<10}{:<8}{:>10}{:>12}{:>10}{:>12}{:>14}{:>14}",
+            "prefetch", "comm", "wall ms", "tokens/s", "overlap", "comm ovl", "copy busy us", "comm busy us"
         );
         for r in &rows {
             println!(
-                "{:<10}{:>10.1}{:>12.0}{:>10.3}{:>14.1}{:>12.1}",
-                r.prefetch, r.wall_ms, r.tokens_per_s, r.overlap_fraction, r.copy_busy_us, r.wait_us
+                "{:<10}{:<8}{:>10.1}{:>12.0}{:>10.3}{:>12.3}{:>14.1}{:>14.1}",
+                r.prefetch,
+                r.comm_async,
+                r.wall_ms,
+                r.tokens_per_s,
+                r.overlap_fraction,
+                r.comm_overlap_fraction,
+                r.copy_busy_us,
+                r.comm_busy_us
             );
         }
+        let delta = 100.0 * (on.tokens_per_s / off.tokens_per_s - 1.0);
+        println!("tokens/s delta (both streams on vs off): {delta:+.1}%");
         println!("losses bitwise identical: {identical}");
     }
 
@@ -187,4 +222,13 @@ fn main() {
         std::process::exit(1);
     }
     println!("RUNTIME_OVERLAP_OK {:.4}", on.overlap_fraction);
+
+    if on.comm_overlap_fraction <= 0.0 {
+        eprintln!(
+            "RUNTIME_COMM_OVERLAP_FAIL: comm-stream-enabled run measured \
+             zero compute/comm overlap"
+        );
+        std::process::exit(1);
+    }
+    println!("RUNTIME_COMM_OVERLAP_OK {:.4}", on.comm_overlap_fraction);
 }

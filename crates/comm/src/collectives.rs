@@ -35,17 +35,17 @@ impl Communicator {
     /// All-gather: every rank contributes one buffer and receives all
     /// buffers in rank order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a peer disconnects or diverges mid-collective (a rank
-    /// failure aborts the job, as in NCCL).
-    pub fn all_gather(&self, data: &[f32]) -> Vec<Vec<f32>> {
+    /// Returns [`CommError::PeerDisconnected`] when a peer died and
+    /// [`CommError::Desync`] when it diverged mid-collective — the same
+    /// uniform `Result` surface as every other collective.
+    pub fn all_gather(&self, data: &[f32]) -> Result<Vec<Vec<f32>>> {
         for peer in 0..self.world() {
-            self.send("all_gather", peer, data.to_vec())
-                .expect("group alive");
+            self.send("all_gather", peer, data.to_vec())?;
         }
         (0..self.world())
-            .map(|peer| self.recv("all_gather", peer).expect("group alive"))
+            .map(|peer| self.recv("all_gather", peer))
             .collect()
     }
 
@@ -97,7 +97,7 @@ impl Communicator {
     /// Returns [`CommError::LengthMismatch`] when contributions disagree in
     /// length.
     pub fn all_reduce(&self, data: &[f32]) -> Result<Vec<f32>> {
-        let gathered = self.all_gather(data);
+        let gathered = self.all_gather(data)?;
         let mut acc = vec![0.0f32; data.len()];
         for piece in gathered {
             if piece.len() != acc.len() {
@@ -210,16 +210,46 @@ impl Communicator {
     }
 }
 
-/// Ulysses-style tensor all-to-all: scatter heads, gather sequence (and the
-/// inverse). This is the communication pattern of paper Figure 2, applied
-/// per FPDT chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct AllToAllLayout;
+/// Error type for the tensor all-to-all (shape and communication failures
+/// both occur).
+type A2aResult<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;
+
+/// Which way a Ulysses all-to-all reshapes the tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum A2aDirection {
+    /// `[s_local, h, d]` -> `[s_local * p, h / p, d]`.
+    HeadsToSeq,
+    /// `[s_global, h_local, d]` -> `[s_global / p, h_local * p, d]`.
+    SeqToHeads,
+}
+
+/// Precomputed geometry for the Ulysses-style tensor all-to-all: scatter
+/// heads / gather sequence (and the inverse) — the communication pattern
+/// of paper Figure 2, applied per FPDT chunk.
+///
+/// Building a layout derives every per-rank slice bound once from the
+/// `(shape, world)` pair; [`AllToAllLayout::apply`] then moves payloads
+/// with flat strided copies. Because every chunk of every layer shares one
+/// shape, the executor builds the layout once and reuses it for the whole
+/// run instead of re-deriving split/concat geometry on each call (the
+/// per-chunk hot path this type exists for). The one-shot constructors
+/// [`AllToAllLayout::scatter_heads_gather_seq`] and
+/// [`AllToAllLayout::scatter_seq_gather_heads`] remain for call sites
+/// without a chunk loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllToAllLayout {
+    dir: A2aDirection,
+    world: usize,
+    in_shape: [usize; 3],
+    out_shape: [usize; 3],
+    /// Elements in each per-peer payload (identical for all peers).
+    part_elems: usize,
+}
 
 impl AllToAllLayout {
-    /// Forward Ulysses all-to-all: each rank holds `x: [s_local, h, d]`
-    /// (full heads, local sequence) and receives
-    /// `[s_local * p, h / p, d]` (full sequence, local heads).
+    /// Layout for the forward Ulysses all-to-all: each rank holds
+    /// `[s_local, h, d]` (full heads, local sequence) and receives
+    /// `[s_local * world, h / world, d]` (full sequence, local heads).
     ///
     /// Rank `r` keeps head group `r`. Received sequence pieces concatenate
     /// in rank order, so the output rows are `rank 0`'s tokens first — the
@@ -227,77 +257,157 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error when `h` is not divisible by the world
-    /// size, or a communication error if the group is unhealthy.
-    pub fn scatter_heads_gather_seq(
-        comm: &Communicator,
-        x: &Tensor,
-    ) -> std::result::Result<Tensor, Box<dyn std::error::Error + Send + Sync>> {
-        let p = comm.world();
-        if x.ndim() != 3 {
-            return Err(Box::new(TensorError::RankMismatch {
-                op: "ulysses_all_to_all",
-                expected: 3,
-                actual: x.ndim(),
-            }));
-        }
-        let (s_local, h, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        if h % p != 0 {
+    /// Returns a tensor shape error unless the shape is 3-D with `h`
+    /// divisible by `world`.
+    pub fn scatter_heads(shape: &[usize], world: usize) -> A2aResult<Self> {
+        let [s_local, h, d] = check_3d("ulysses_all_to_all", shape)?;
+        if h % world != 0 {
             return Err(Box::new(TensorError::InvalidSlice {
-                what: format!("{h} heads not divisible by {p} ranks"),
+                what: format!("{h} heads not divisible by {world} ranks"),
             }));
         }
-        // Split along the head axis: part j = heads [j*h/p, (j+1)*h/p).
-        let parts = x.split(1, p)?;
-        let bufs: Vec<Vec<f32>> = parts.into_iter().map(Tensor::into_vec).collect();
-        let recv = comm.all_to_all(bufs)?;
-        // Each received piece is [s_local, h/p, d] from one rank; stack
-        // along the sequence axis in rank order.
-        let tensors: std::result::Result<Vec<Tensor>, TensorError> = recv
-            .into_iter()
-            .map(|buf| Tensor::from_vec(buf, &[s_local, h / p, d]))
-            .collect();
-        let tensors = tensors?;
-        let refs: Vec<&Tensor> = tensors.iter().collect();
-        Ok(Tensor::concat(&refs, 0)?)
+        Ok(AllToAllLayout {
+            dir: A2aDirection::HeadsToSeq,
+            world,
+            in_shape: [s_local, h, d],
+            out_shape: [s_local * world, h / world, d],
+            part_elems: s_local * (h / world) * d,
+        })
     }
 
-    /// Inverse Ulysses all-to-all: each rank holds `[s_global, h / p, d]`
-    /// and gets back `[s_global / p, h, d]`.
+    /// Layout for the inverse Ulysses all-to-all: each rank holds
+    /// `[s_global, h_local, d]` and gets back
+    /// `[s_global / world, h_local * world, d]`.
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error when `s_global` is not divisible by
-    /// the world size, or a communication error.
-    pub fn scatter_seq_gather_heads(
-        comm: &Communicator,
-        x: &Tensor,
-    ) -> std::result::Result<Tensor, Box<dyn std::error::Error + Send + Sync>> {
-        let p = comm.world();
-        if x.ndim() != 3 {
-            return Err(Box::new(TensorError::RankMismatch {
-                op: "ulysses_all_to_all_inv",
-                expected: 3,
-                actual: x.ndim(),
-            }));
-        }
-        let (s_global, h_local, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        if s_global % p != 0 {
+    /// Returns a tensor shape error unless the shape is 3-D with
+    /// `s_global` divisible by `world`.
+    pub fn scatter_seq(shape: &[usize], world: usize) -> A2aResult<Self> {
+        let [s_global, h_local, d] = check_3d("ulysses_all_to_all_inv", shape)?;
+        if s_global % world != 0 {
             return Err(Box::new(TensorError::InvalidSlice {
-                what: format!("sequence {s_global} not divisible by {p} ranks"),
+                what: format!("sequence {s_global} not divisible by {world} ranks"),
             }));
         }
-        let parts = x.split(0, p)?;
-        let bufs: Vec<Vec<f32>> = parts.into_iter().map(Tensor::into_vec).collect();
+        Ok(AllToAllLayout {
+            dir: A2aDirection::SeqToHeads,
+            world,
+            in_shape: [s_global, h_local, d],
+            out_shape: [s_global / world, h_local * world, d],
+            part_elems: (s_global / world) * h_local * d,
+        })
+    }
+
+    /// The input shape this layout was built for.
+    pub fn in_shape(&self) -> [usize; 3] {
+        self.in_shape
+    }
+
+    /// The shape [`AllToAllLayout::apply`] returns.
+    pub fn out_shape(&self) -> [usize; 3] {
+        self.out_shape
+    }
+
+    /// Runs the all-to-all over `x` using the precomputed geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x` or the group does not match the
+    /// layout, or a communication error if the group is unhealthy.
+    pub fn apply(&self, comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+        if x.shape() != self.in_shape || comm.world() != self.world {
+            return Err(Box::new(TensorError::InvalidSlice {
+                what: format!(
+                    "all-to-all layout built for {:?} on {} ranks, applied to {:?} on {}",
+                    self.in_shape,
+                    self.world,
+                    x.shape(),
+                    comm.world()
+                ),
+            }));
+        }
+        let p = self.world;
+        let src = x.data();
+        // Pack one flat payload per peer.
+        let bufs: Vec<Vec<f32>> = match self.dir {
+            A2aDirection::HeadsToSeq => {
+                // Peer j takes head rows [j*h/p, (j+1)*h/p) of every token.
+                let [s, h, d] = self.in_shape;
+                let (row, part_row) = (h * d, (h / p) * d);
+                (0..p)
+                    .map(|j| {
+                        let mut buf = Vec::with_capacity(self.part_elems);
+                        for r in 0..s {
+                            let at = r * row + j * part_row;
+                            buf.extend_from_slice(&src[at..at + part_row]);
+                        }
+                        buf
+                    })
+                    .collect()
+            }
+            // Peer j takes the contiguous token block [j*s/p, (j+1)*s/p).
+            A2aDirection::SeqToHeads => src
+                .chunks(self.part_elems)
+                .map(<[f32]>::to_vec)
+                .collect(),
+        };
         let recv = comm.all_to_all(bufs)?;
-        // Each received piece is [s_local, h_local, d]; stack along heads.
-        let tensors: std::result::Result<Vec<Tensor>, TensorError> = recv
-            .into_iter()
-            .map(|buf| Tensor::from_vec(buf, &[s_global / p, h_local, d]))
-            .collect();
-        let tensors = tensors?;
-        let refs: Vec<&Tensor> = tensors.iter().collect();
-        Ok(Tensor::concat(&refs, 1)?)
+        // Unpack the rank-ordered pieces into the output layout.
+        let mut out = Vec::with_capacity(self.part_elems * p);
+        match self.dir {
+            // Pieces are [s, h/p, d] token blocks; stack along sequence.
+            A2aDirection::HeadsToSeq => {
+                for piece in &recv {
+                    out.extend_from_slice(piece);
+                }
+            }
+            // Pieces are [s/p, h_local, d]; interleave along heads.
+            A2aDirection::SeqToHeads => {
+                let [s_global, h_local, d] = self.in_shape;
+                let part_row = h_local * d;
+                for r in 0..s_global / p {
+                    for piece in &recv {
+                        let at = r * part_row;
+                        out.extend_from_slice(&piece[at..at + part_row]);
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &self.out_shape)?)
+    }
+
+    /// One-shot forward all-to-all: builds the layout for `x` and applies
+    /// it. See [`AllToAllLayout::scatter_heads`] for the data movement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error when `h` is not divisible by the world
+    /// size, or a communication error if the group is unhealthy.
+    pub fn scatter_heads_gather_seq(comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+        Self::scatter_heads(x.shape(), comm.world())?.apply(comm, x)
+    }
+
+    /// One-shot inverse all-to-all: builds the layout for `x` and applies
+    /// it. See [`AllToAllLayout::scatter_seq`] for the data movement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error when the sequence is not divisible by
+    /// the world size, or a communication error.
+    pub fn scatter_seq_gather_heads(comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+        Self::scatter_seq(x.shape(), comm.world())?.apply(comm, x)
+    }
+}
+
+fn check_3d(op: &'static str, shape: &[usize]) -> A2aResult<[usize; 3]> {
+    match shape {
+        &[a, b, c] => Ok([a, b, c]),
+        _ => Err(Box::new(TensorError::RankMismatch {
+            op,
+            expected: 3,
+            actual: shape.len(),
+        })),
     }
 }
 
@@ -321,7 +431,9 @@ mod tests {
 
     #[test]
     fn all_gather_rank_order() {
-        let out = run_group(4, |comm| comm.all_gather(&[comm.rank() as f32 * 2.0]));
+        let out = run_group(4, |comm| {
+            comm.all_gather(&[comm.rank() as f32 * 2.0]).unwrap()
+        });
         for ranks in out {
             assert_eq!(ranks, vec![vec![0.0], vec![2.0], vec![4.0], vec![6.0]]);
         }
@@ -427,6 +539,37 @@ mod tests {
         assert_eq!(out[0].data(), &[0.0, 1.0, 100.0, 101.0]);
         // rank 1: heads {2,3}
         assert_eq!(out[1].data(), &[2.0, 3.0, 102.0, 103.0]);
+    }
+
+    #[test]
+    fn layout_built_once_is_reused_across_chunks() {
+        // The executor's hot path: one layout per (shape, world), applied
+        // to every chunk. Must match the one-shot path bitwise, and reject
+        // tensors it was not built for.
+        let out = run_group(2, |comm| {
+            let fwd = AllToAllLayout::scatter_heads(&[2, 4, 3], comm.world()).unwrap();
+            assert_eq!(fwd.in_shape(), [2, 4, 3]);
+            assert_eq!(fwd.out_shape(), [4, 2, 3]);
+            let inv = AllToAllLayout::scatter_seq(&[4, 2, 3], comm.world()).unwrap();
+            let mut rng = init::seeded_rng(7 + comm.rank() as u64);
+            let mut chunks = Vec::new();
+            for _ in 0..3 {
+                let x = init::randn(&mut rng, &[2, 4, 3], 1.0);
+                let gathered = fwd.apply(&comm, &x).unwrap();
+                let oneshot = AllToAllLayout::scatter_heads_gather_seq(&comm, &x).unwrap();
+                assert_eq!(gathered.data(), oneshot.data(), "cached == one-shot");
+                let back = inv.apply(&comm, &gathered).unwrap();
+                chunks.push((x, back));
+            }
+            // A mismatched tensor must be rejected before any traffic.
+            assert!(fwd.apply(&comm, &Tensor::zeros(&[4, 4, 3])).is_err());
+            chunks
+        });
+        for rank in out {
+            for (orig, back) in rank {
+                assert!(back.allclose(&orig, 1e-6, 1e-7));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Group construction and point-to-point plumbing.
 
-use crate::stats::{CommStats, StatsCell};
+use crate::stats::{CommStats, Direction, StatsCell};
 use crate::{CommError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
@@ -116,7 +116,7 @@ impl Communicator {
             rank: peer,
             world: self.world,
         })?;
-        self.stats.on_send(op, data.len());
+        self.stats.tally(op, Direction::Sent, data.len());
         tx.send(Message { op, data })
             .map_err(|_| CommError::PeerDisconnected { peer })
     }
@@ -137,7 +137,8 @@ impl Communicator {
         let msg = rx
             .recv()
             .map_err(|_| CommError::PeerDisconnected { peer })?;
-        self.stats.on_recv(op, msg.data.len(), waited.elapsed());
+        self.stats.waited(waited.elapsed());
+        self.stats.tally(op, Direction::Received, msg.data.len());
         if msg.op != op {
             return Err(CommError::Desync {
                 local_op: op,

@@ -25,20 +25,27 @@
 //!
 //! let results = run_group(4, |comm| {
 //!     let mine = vec![comm.rank() as f32];
-//!     let all = comm.all_gather(&mine);
+//!     let all = comm.all_gather(&mine).expect("group alive");
 //!     all.concat()
 //! });
 //! assert_eq!(results[2], vec![0.0, 1.0, 2.0, 3.0]);
 //! ```
+//!
+//! Every collective returns `Result<_, CommError>`; for overlapping
+//! communication with compute, post collectives on the per-rank
+//! [`CommEngine`] stream and resolve the returned [`Pending`] handle when
+//! the payload is needed.
 
 #![deny(missing_docs)]
 
 mod collectives;
+mod engine;
 mod error;
 mod group;
 mod stats;
 
 pub use collectives::AllToAllLayout;
+pub use engine::{CommEngine, Pending};
 pub use error::CommError;
 pub use group::{run_group, CommGroup, Communicator};
 pub use stats::{CommStats, OpStats};

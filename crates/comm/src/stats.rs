@@ -2,18 +2,30 @@
 //!
 //! Every [`Communicator`](crate::Communicator) tallies, per collective tag
 //! (`"all_to_all"`, `"all_gather"`, ...), how many messages it sent and
-//! received, how many payload bytes moved each way, and how long its
-//! receives blocked. The counters answer the paper's accounting questions
-//! ("how much does the per-chunk all-to-all actually move?") without a
-//! profiler, and feed the `BENCH_*.json` metrics emitted by the bench
-//! binaries.
+//! received and how many payload bytes moved each way. The counters answer
+//! the paper's accounting questions ("how much does the per-chunk
+//! all-to-all actually move?") without a profiler, and feed the
+//! `BENCH_*.json` metrics emitted by the bench binaries.
+//!
+//! Counters are **deterministic**: every payload runs through the single
+//! [`StatsCell::tally`] entry point inside `send`/`recv`, so two runs that
+//! move the same traffic in the same program order produce equal
+//! [`CommStats`] — regardless of thread scheduling, and regardless of
+//! whether collectives executed inline or on the asynchronous
+//! [`CommEngine`](crate::CommEngine) stream. Wall-clock receive blocking
+//! time is kept out of the comparable counters (see
+//! [`CommStats::recv_wait`]).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
 /// Accumulated traffic for one collective tag on one rank.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Pure message/byte counters, deliberately free of wall-clock fields, so
+/// `OpStats` is `Eq` and bitwise-equality assertions ("the async comm
+/// stream moves exactly the same traffic") are meaningful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Messages posted to peers (including self-sends).
     pub sends: u64,
@@ -23,16 +35,28 @@ pub struct OpStats {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_recv: u64,
-    /// Wall-clock time receives spent blocked.
-    pub recv_wait: Duration,
 }
 
 /// Snapshot of one rank's per-op counters, in first-use order.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares the deterministic traffic counters only;
+/// [`CommStats::recv_wait`] is wall-clock noise and is excluded.
+#[derive(Debug, Clone, Default)]
 pub struct CommStats {
     /// `(op tag, counters)` pairs ordered by first use on this rank.
     pub ops: Vec<(String, OpStats)>,
+    /// Total wall-clock time receives spent blocked, across all
+    /// collectives. Timing, not traffic: excluded from `PartialEq`/`Eq`.
+    pub recv_wait: Duration,
 }
+
+impl PartialEq for CommStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
+}
+
+impl Eq for CommStats {}
 
 impl CommStats {
     /// Counters for one collective tag, if it ever ran.
@@ -52,34 +76,59 @@ impl CommStats {
 
     /// Total wall-clock time receives spent blocked.
     pub fn total_recv_wait(&self) -> Duration {
-        self.ops.iter().map(|(_, s)| s.recv_wait).sum()
+        self.recv_wait
     }
+}
+
+/// Which way a payload moved through the wire layer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Direction {
+    /// Payload posted to a peer.
+    Sent,
+    /// Payload drained from a peer.
+    Received,
 }
 
 /// Interior-mutable accumulator owned by each `Communicator`. Collectives
 /// take `&self`, so the counters sit behind a mutex; contention is nil
-/// (one owner thread per rank).
+/// (at most the rank thread plus its comm-stream worker, which never
+/// overlap on the same op by FIFO construction).
 #[derive(Debug, Default)]
 pub(crate) struct StatsCell {
     // first-use order kept separately so snapshots are deterministic
     order: Mutex<Vec<String>>,
     ops: Mutex<HashMap<String, OpStats>>,
+    recv_wait: Mutex<Duration>,
 }
 
 impl StatsCell {
-    pub(crate) fn on_send(&self, op: &str, elems: usize) {
-        self.with(op, |s| {
-            s.sends += 1;
-            s.bytes_sent += (elems * std::mem::size_of::<f32>()) as u64;
-        });
+    /// The single tally point. Every payload — any collective, either
+    /// direction — is accounted here, called from `send`/`recv` only, so
+    /// byte accounting cannot be bypassed by a new collective.
+    pub(crate) fn tally(&self, op: &str, dir: Direction, elems: usize) {
+        let bytes = (elems * std::mem::size_of::<f32>()) as u64;
+        let mut ops = self.ops.lock().expect("stats table");
+        if !ops.contains_key(op) {
+            self.order.lock().expect("stats order").push(op.to_string());
+            ops.insert(op.to_string(), OpStats::default());
+        }
+        let s = ops.get_mut(op).expect("just inserted");
+        match dir {
+            Direction::Sent => {
+                s.sends += 1;
+                s.bytes_sent += bytes;
+            }
+            Direction::Received => {
+                s.recvs += 1;
+                s.bytes_recv += bytes;
+            }
+        }
     }
 
-    pub(crate) fn on_recv(&self, op: &str, elems: usize, waited: Duration) {
-        self.with(op, |s| {
-            s.recvs += 1;
-            s.bytes_recv += (elems * std::mem::size_of::<f32>()) as u64;
-            s.recv_wait += waited;
-        });
+    /// Accumulates receive blocking time (kept apart from the
+    /// deterministic counters).
+    pub(crate) fn waited(&self, d: Duration) {
+        *self.recv_wait.lock().expect("wait total") += d;
     }
 
     pub(crate) fn snapshot(&self) -> CommStats {
@@ -90,16 +139,8 @@ impl StatsCell {
                 .iter()
                 .map(|name| (name.clone(), ops[name]))
                 .collect(),
+            recv_wait: *self.recv_wait.lock().expect("wait total"),
         }
-    }
-
-    fn with(&self, op: &str, f: impl FnOnce(&mut OpStats)) {
-        let mut ops = self.ops.lock().expect("stats table");
-        if !ops.contains_key(op) {
-            self.order.lock().expect("stats order").push(op.to_string());
-            ops.insert(op.to_string(), OpStats::default());
-        }
-        f(ops.get_mut(op).expect("just inserted"));
     }
 }
 
@@ -110,7 +151,7 @@ mod tests {
     #[test]
     fn all_gather_traffic_is_counted() {
         let stats = run_group(4, |comm| {
-            comm.all_gather(&[1.0, 2.0, 3.0]);
+            comm.all_gather(&[1.0, 2.0, 3.0]).expect("group alive");
             comm.stats()
         });
         for s in &stats {
@@ -136,5 +177,21 @@ mod tests {
         assert_eq!(names, ["all_gather", "ring_exchange"]);
         assert_eq!(stats[0].op("ring_exchange").unwrap().bytes_sent, 8);
         assert!(stats[0].op("broadcast").is_none());
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_wait() {
+        // Two runs of the same traffic compare equal even though their
+        // blocking times inevitably differ.
+        let run = || {
+            run_group(2, |comm| {
+                let _ = comm.all_reduce(&[1.0; 16]).unwrap();
+                comm.stats()
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "deterministic counters");
+        // The wait totals are still reported (just not compared).
+        let _ = a[0].total_recv_wait();
     }
 }

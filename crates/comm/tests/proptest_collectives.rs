@@ -43,7 +43,8 @@ proptest! {
             let parts: Vec<Vec<f32>> =
                 (0..world).map(|p| data[p * n..(p + 1) * n].to_vec()).collect();
             let mine = comm.reduce_scatter(parts).unwrap();
-            let stitched: Vec<f32> = comm.all_gather(&mine).unwrap_or_default_check();
+            let stitched: Vec<f32> =
+                comm.all_gather(&mine).unwrap().into_iter().flatten().collect();
             (ar, stitched)
         });
         for (ar, rs_ag) in out {
@@ -84,17 +85,5 @@ proptest! {
         for got in out {
             prop_assert_eq!(&got, &payload);
         }
-    }
-}
-
-/// Helper trait so the proptest closure stays readable: all_gather returns
-/// Vec<Vec<f32>>; flatten in rank order.
-trait Stitch {
-    fn unwrap_or_default_check(self) -> Vec<f32>;
-}
-
-impl Stitch for Vec<Vec<f32>> {
-    fn unwrap_or_default_check(self) -> Vec<f32> {
-        self.into_iter().flatten().collect()
     }
 }

@@ -22,10 +22,11 @@ fn main() {
     println!("\ncollective traffic (per op, rank 0):");
     for (name, op) in &report.comm.ops {
         println!(
-            "  {name:<14} sends {:>4}  bytes_sent {:>9}  recv_wait {:?}",
-            op.sends, op.bytes_sent, op.recv_wait
+            "  {name:<14} sends {:>4}  bytes_sent {:>9}",
+            op.sends, op.bytes_sent
         );
     }
+    println!("  total recv wait {:?}", report.comm.total_recv_wait());
 
     let spans = recorder.records();
     println!("\n{} spans recorded; busiest prefixes:", spans.len());

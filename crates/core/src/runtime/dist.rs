@@ -11,14 +11,14 @@
 use crate::chunk::ChunkPlan;
 use crate::offload::PoolStats;
 use crate::runtime::data::Corpus;
-use crate::runtime::exec::{
-    AttentionExec, DistAttention, ExecOpts, LocalAttention, RingAttentionExec,
-};
+use crate::runtime::exec::{AttentionExec, DistAttention, LocalAttention, RingAttentionExec};
 use crate::runtime::gpt::GptModel;
+use crate::runtime::options::RuntimeOptions;
 use fpdt_comm::run_group;
 use fpdt_model::config::ModelConfig;
 use fpdt_tensor::nn::{AdamW, AdamWConfig};
 use fpdt_trace::Recorder;
+use std::sync::Arc;
 
 /// Which training mode to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,11 +86,11 @@ pub struct TrainConfig {
     /// (0 = constant LR). Applied identically in every mode, so the
     /// equivalence claims are schedule-independent.
     pub warmup_steps: usize,
-    /// Overrides the offload copy stream's prefetch setting (`Some(false)`
-    /// forces synchronous transfers, `Some(true)` forces the asynchronous
-    /// double-buffered stream). `None` defers to the `FPDT_PREFETCH`
-    /// environment default. Bitwise-identical either way.
-    pub prefetch: Option<bool>,
+    /// Runtime knobs (offload copy stream, asynchronous comm stream,
+    /// kernel threads), defaulting from the `FPDT_*` environment via
+    /// [`RuntimeOptions::from_env`]. The `offload` field is overridden by
+    /// [`Mode::Fpdt`]'s flag. Every setting is bitwise-invisible.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for TrainConfig {
@@ -114,7 +114,7 @@ impl TrainConfig {
             activation_checkpoint: false,
             grad_accum: 1,
             warmup_steps: 0,
-            prefetch: None,
+            runtime: RuntimeOptions::from_env(),
         }
     }
 }
@@ -262,6 +262,7 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
             );
             let offload = cfg.mode.offload();
             let mut results = run_group(world, |comm| {
+                let comm = Arc::new(comm);
                 let plan = ChunkPlan::new(cfg.seq, world, chunks).expect("validated above");
                 let mut dist_exec: Option<DistAttention> = None;
                 let mut ring_exec;
@@ -269,11 +270,8 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
                     ring_exec = RingAttentionExec::new(&comm, cfg.seq);
                     &mut ring_exec
                 } else {
-                    let mut opts = ExecOpts::new(offload);
-                    if let Some(p) = cfg.prefetch {
-                        opts.prefetch = p;
-                    }
-                    let mut ex = DistAttention::with_opts(&comm, plan, opts);
+                    let opts = cfg.runtime.with_offload(offload);
+                    let mut ex = DistAttention::with_opts(Arc::clone(&comm), plan, opts);
                     if let Some(rec) = recorder {
                         ex = ex.with_recorder(rec.clone());
                     }
@@ -308,7 +306,8 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
                                 reduced[lo..hi].iter().map(|g| g * scale).collect();
                             opt.begin_step();
                             opt.update(0, &mut params[lo..hi], &gshard);
-                            let shards = comm.all_gather(&params[lo..hi]);
+                            let shards =
+                                comm.all_gather(&params[lo..hi]).expect("group alive");
                             let full: Vec<f32> = shards.into_iter().flatten().collect();
                             model.set_params(&full);
                         } else {

@@ -12,11 +12,12 @@
 //!   KV-outer/Q-inner backward. With `chunks == 1` this *is* DeepSpeed
 //!   Ulysses; with `chunks > 1` it is FPDT.
 
+use super::options::RuntimeOptions;
 use crate::chunk::ChunkPlan;
 use crate::offload::{BufKind, ChunkKey, FetchHandle, OffloadEngine, PoolStats};
 use fpdt_attention::online::{attention_block_bwd, rowwise_dot, OnlineAttention};
 use fpdt_attention::{chunked, default_scale};
-use fpdt_comm::{AllToAllLayout, Communicator};
+use fpdt_comm::{AllToAllLayout, CommEngine, Communicator, Pending};
 use fpdt_tensor::Tensor;
 use fpdt_trace::{Recorder, Span};
 use std::collections::HashMap;
@@ -144,7 +145,9 @@ pub fn prefetch_default() -> bool {
     )
 }
 
-/// Knobs for [`DistAttention`].
+/// Legacy offload knob pair for [`DistAttention`], kept as a thin view
+/// onto [`RuntimeOptions`] (which adds the comm-stream and kernel knobs)
+/// so existing call sites keep compiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOpts {
     /// When true, cached chunks live in the host pool ("host memory");
@@ -170,41 +173,70 @@ impl ExecOpts {
     }
 }
 
-/// Distributed chunked attention: Ulysses all-to-all per chunk, streaming
-/// online attention, host offload behind an asynchronous double-buffered
-/// copy stream, Figure-7 backward.
-pub struct DistAttention<'c> {
-    comm: &'c Communicator,
+/// A posted all-to-all whose payload has not been needed yet.
+type PendingTensor = Pending<ExecResult<Tensor>>;
+type PendingQkv = Pending<ExecResult<(Tensor, Tensor, Tensor)>>;
+
+/// Distributed chunked attention: Ulysses all-to-all per chunk posted on
+/// an asynchronous communication stream, streaming online attention, host
+/// offload behind an asynchronous double-buffered copy stream, Figure-7
+/// backward.
+///
+/// The comm schedule mirrors the offload schedule: chunk `i+1`'s
+/// all-to-all is posted (one fused QKV op per chunk) before chunk `i`'s
+/// online-softmax update runs, and output/gradient chunks travel home as
+/// [`Pending`] handles resolved only when the caller concatenates. With
+/// `comm_async` off every post executes inline at the same program point,
+/// so the wire order — and therefore every statistic — is identical.
+pub struct DistAttention {
+    comm: Arc<Communicator>,
     plan: ChunkPlan,
-    opts: ExecOpts,
+    opts: RuntimeOptions,
     host: OffloadEngine,
+    engine: CommEngine,
     device: HashMap<ChunkKey, Arc<Tensor>>,
     recorder: Option<Recorder>,
+    /// Ulysses layouts cached per (shape, world): every chunk of every
+    /// layer shares a handful of geometries (Q and, under grouped-query
+    /// attention, a narrower KV), each derived once and reused.
+    fwd_layouts: HashMap<[usize; 3], AllToAllLayout>,
+    inv_layouts: HashMap<[usize; 3], AllToAllLayout>,
 }
 
-impl<'c> DistAttention<'c> {
+impl DistAttention {
     /// Creates the executor for one rank with environment-default options.
-    pub fn new(comm: &'c Communicator, plan: ChunkPlan, offload: bool) -> Self {
-        Self::with_opts(comm, plan, ExecOpts::new(offload))
+    pub fn new(comm: Arc<Communicator>, plan: ChunkPlan, offload: bool) -> Self {
+        Self::with_opts(comm, plan, RuntimeOptions::from_env().with_offload(offload))
     }
 
-    /// Creates the executor for one rank with explicit options.
-    pub fn with_opts(comm: &'c Communicator, plan: ChunkPlan, opts: ExecOpts) -> Self {
+    /// Creates the executor for one rank with explicit options (accepts
+    /// [`RuntimeOptions`] or the legacy [`ExecOpts`] pair).
+    pub fn with_opts(
+        comm: Arc<Communicator>,
+        plan: ChunkPlan,
+        opts: impl Into<RuntimeOptions>,
+    ) -> Self {
+        let opts = opts.into();
         DistAttention {
+            engine: CommEngine::new(Arc::clone(&comm), opts.comm_async),
             comm,
             plan,
             opts,
             host: OffloadEngine::new(opts.offload && opts.prefetch),
             device: HashMap::new(),
             recorder: None,
+            fwd_layouts: HashMap::new(),
+            inv_layouts: HashMap::new(),
         }
     }
 
-    /// Attaches a span recorder: every all-to-all, attention-chunk
-    /// computation, and host offload copy records a wall-clock span.
+    /// Attaches a span recorder: every all-to-all post, attention-chunk
+    /// computation, host offload copy, and comm-stream occupancy interval
+    /// records a wall-clock span.
     #[must_use]
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.host.set_recorder(recorder.clone());
+        self.engine.set_recorder(recorder.clone());
         self.recorder = Some(recorder);
         self
     }
@@ -212,6 +244,12 @@ impl<'c> DistAttention<'c> {
     /// Host-pool transfer statistics (zero when `offload` is off).
     pub fn host_stats(&self) -> PoolStats {
         self.host.stats()
+    }
+
+    /// Ops posted on the communication stream so far — the audit counter
+    /// behind "exactly one fused QKV all-to-all per chunk".
+    pub fn comm_posted(&self) -> u64 {
+        self.engine.posted()
     }
 
     fn span(&self, label: &str, elems: usize) -> Option<Span> {
@@ -285,15 +323,89 @@ impl<'c> DistAttention<'c> {
         }
     }
 
-    fn a2a_fwd(&self, t: &Tensor) -> ExecResult<Tensor> {
-        let _s = self.span("a2a.scatter_heads", t.data().len());
-        AllToAllLayout::scatter_heads_gather_seq(self.comm, t)
+    /// The cached forward (scatter-heads) layout for `shape`, built on
+    /// first use and reused across every chunk and layer.
+    fn fwd_layout(&mut self, shape: &[usize]) -> ExecResult<AllToAllLayout> {
+        let world = self.comm.world();
+        cached_layout(&mut self.fwd_layouts, shape, || {
+            AllToAllLayout::scatter_heads(shape, world)
+        })
     }
 
-    fn a2a_inv(&self, t: &Tensor) -> ExecResult<Tensor> {
-        let _s = self.span("a2a.gather_heads", t.data().len());
-        AllToAllLayout::scatter_seq_gather_heads(self.comm, t)
+    /// The cached inverse (scatter-seq) layout for `shape`.
+    fn inv_layout(&mut self, shape: &[usize]) -> ExecResult<AllToAllLayout> {
+        let world = self.comm.world();
+        cached_layout(&mut self.inv_layouts, shape, || {
+            AllToAllLayout::scatter_seq(shape, world)
+        })
     }
+
+    /// Posts one chunk's fused QKV forward all-to-all on the comm stream:
+    /// exactly one posted op per chunk, three tensors through one wire
+    /// slot, so the FIFO stays aligned with the chunk loop. Q and KV may
+    /// use different layouts (grouped-query attention narrows KV).
+    fn post_qkv(
+        &mut self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        start: usize,
+        len: usize,
+    ) -> ExecResult<PendingQkv> {
+        let qc = q.narrow(0, start, len)?;
+        let kc = k.narrow(0, start, len)?;
+        let vc = v.narrow(0, start, len)?;
+        let lq = self.fwd_layout(qc.shape())?;
+        let lkv = self.fwd_layout(kc.shape())?;
+        let elems = qc.data().len() + kc.data().len() + vc.data().len();
+        let _s = self.span("a2a.scatter_heads", elems);
+        Ok(self.engine.post((elems * 4) as u64, move |comm| {
+            let qh = lq.apply(comm, &qc)?;
+            let kh = lkv.apply(comm, &kc)?;
+            let vh = lkv.apply(comm, &vc)?;
+            Ok((qh, kh, vh))
+        }))
+    }
+
+    /// Posts one gathered-layout chunk's forward all-to-all (the backward
+    /// pass projecting a `dO` chunk).
+    fn post_fwd(&mut self, t: Tensor) -> ExecResult<PendingTensor> {
+        let layout = self.fwd_layout(t.shape())?;
+        let elems = t.data().len();
+        let _s = self.span("a2a.scatter_heads", elems);
+        Ok(self
+            .engine
+            .post((elems * 4) as u64, move |comm| layout.apply(comm, &t)))
+    }
+
+    /// Posts the inverse all-to-all shipping an output or gradient chunk
+    /// back to the local layout.
+    fn post_inv(&mut self, t: Arc<Tensor>) -> ExecResult<PendingTensor> {
+        let layout = self.inv_layout(t.shape())?;
+        let elems = t.data().len();
+        let _s = self.span("a2a.gather_heads", elems);
+        Ok(self
+            .engine
+            .post((elems * 4) as u64, move |comm| layout.apply(comm, &t)))
+    }
+}
+
+/// Looks up (or builds exactly once) the all-to-all layout for `shape`.
+/// Non-3-D shapes fall through to `build`, which reports the shape error.
+fn cached_layout(
+    map: &mut HashMap<[usize; 3], AllToAllLayout>,
+    shape: &[usize],
+    build: impl FnOnce() -> ExecResult<AllToAllLayout>,
+) -> ExecResult<AllToAllLayout> {
+    let Ok(key) = <[usize; 3]>::try_from(shape) else {
+        return build();
+    };
+    if let Some(l) = map.get(&key) {
+        return Ok(*l);
+    }
+    let l = build()?;
+    map.insert(key, l);
+    Ok(l)
 }
 
 /// Takes a pooled chunk back into exclusive ownership for in-place
@@ -302,7 +414,7 @@ fn unshare(t: Arc<Tensor>) -> Tensor {
     Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone())
 }
 
-impl AttentionExec for DistAttention<'_> {
+impl AttentionExec for DistAttention {
     fn forward(
         &mut self,
         layer: usize,
@@ -314,14 +426,23 @@ impl AttentionExec for DistAttention<'_> {
         let u = self.plan.chunks;
         let c_loc = self.plan.chunk_local_len();
         debug_assert_eq!(pos, self.plan.local_positions(self.comm.rank()).as_slice());
-        let mut o_parts: Vec<Tensor> = Vec::with_capacity(u);
+        // Chunk 0's QKV all-to-all goes on the wire before any compute;
+        // inside the loop chunk i+1's is posted before chunk i's updates
+        // run, so the stream hides each transfer behind the previous
+        // chunk's online softmax. Output chunks travel home the same way:
+        // the inverse all-to-all is posted as soon as a chunk finalizes
+        // and only resolved at the final concat.
+        let mut o_handles: Vec<PendingTensor> = Vec::with_capacity(u);
+        let mut next_qkv = Some(self.post_qkv(q, k, v, self.plan.local_chunk_range(0).start, c_loc)?);
         for i in 0..u {
-            let range = self.plan.local_chunk_range(i);
+            let cur = next_qkv.take().expect("chunk i's QKV posted");
+            if i + 1 < u {
+                let range = self.plan.local_chunk_range(i + 1);
+                next_qkv = Some(self.post_qkv(q, k, v, range.start, c_loc)?);
+            }
             // Project chunk through the all-to-all: full heads/local seq ->
             // local heads/gathered seq.
-            let qh = self.a2a_fwd(&q.narrow(0, range.start, c_loc)?)?;
-            let kh = self.a2a_fwd(&k.narrow(0, range.start, c_loc)?)?;
-            let vh = self.a2a_fwd(&v.narrow(0, range.start, c_loc)?)?;
+            let (qh, kh, vh) = cur.wait()?;
             let gpos = self.plan.gathered_positions(i);
             let attn_span = self.span("attn.fwd.chunk", qh.data().len());
             let qh = Arc::new(qh);
@@ -368,7 +489,11 @@ impl AttentionExec for DistAttention<'_> {
                 Arc::new(Tensor::from_vec(lse, &[lse_len])?),
             );
             // Gather heads back: the output chunk returns to local layout.
-            o_parts.push(self.a2a_inv(&oi)?);
+            o_handles.push(self.post_inv(oi)?);
+        }
+        let mut o_parts: Vec<Tensor> = Vec::with_capacity(u);
+        for h in o_handles {
+            o_parts.push(h.wait()?);
         }
         let refs: Vec<&Tensor> = o_parts.iter().collect();
         Ok(Tensor::concat(&refs, 0)?)
@@ -380,10 +505,16 @@ impl AttentionExec for DistAttention<'_> {
         let scale = default_scale(dout.shape()[2]);
 
         // Stage: gather dO per chunk, compute the D row-dots, zero the dq
-        // accumulators.
+        // accumulators. Chunk i+1's gather is posted before chunk i's
+        // row-dot runs — the same double-buffer shape as the forward.
+        let mut next_dout = Some(self.post_fwd(dout.narrow(0, self.plan.local_chunk_range(0).start, c_loc)?)?);
         for i in 0..u {
-            let range = self.plan.local_chunk_range(i);
-            let doh = Arc::new(self.a2a_fwd(&dout.narrow(0, range.start, c_loc)?)?);
+            let cur = next_dout.take().expect("chunk i's dO posted");
+            if i + 1 < u {
+                let range = self.plan.local_chunk_range(i + 1);
+                next_dout = Some(self.post_fwd(dout.narrow(0, range.start, c_loc)?)?);
+            }
+            let doh = Arc::new(cur.wait()?);
             let oi = self.keep(ChunkKey::new(layer, BufKind::O, i))?;
             let dsum = {
                 let _s = self.span("kernel.attn.rowwise_dot", oi.data().len());
@@ -399,9 +530,12 @@ impl AttentionExec for DistAttention<'_> {
             self.put(ChunkKey::new(layer, BufKind::DQ, i), Arc::new(zeros));
         }
 
-        let mut dq_parts: Vec<Tensor> = Vec::with_capacity(u);
-        let mut dk_parts: Vec<Tensor> = Vec::with_capacity(u);
-        let mut dv_parts: Vec<Tensor> = Vec::with_capacity(u);
+        // Gradient chunks leave on the stream the moment they are final
+        // and are only resolved for the concatenation at the very end, so
+        // every inverse all-to-all overlaps the remaining tile sweeps.
+        let mut dq_handles: Vec<PendingTensor> = Vec::with_capacity(u);
+        let mut dk_handles: Vec<PendingTensor> = Vec::with_capacity(u);
+        let mut dv_handles: Vec<PendingTensor> = Vec::with_capacity(u);
 
         // Figure 7: outer loop on KV chunks, inner on query chunks. Each
         // KV chunk is fetched exactly once per outer iteration, and chunk
@@ -457,22 +591,26 @@ impl AttentionExec for DistAttention<'_> {
                 if consume {
                     // dq_j is final after its first inner iteration: ship it
                     // home with the same all-to-all as dk_j/dv_j below.
-                    dq_parts.push(self.a2a_inv(&dq_i)?);
+                    dq_handles.push(self.post_inv(Arc::new(dq_i))?);
                 } else {
                     self.put(ChunkKey::new(layer, BufKind::DQ, i), Arc::new(dq_i));
                 }
             }
             // dK_j/dV_j are final once the inner sweep ends (no later outer
             // iteration touches chunk j): all-to-all back to local layout.
-            dk_parts.push(self.a2a_inv(&dk_j)?);
-            dv_parts.push(self.a2a_inv(&dv_j)?);
+            dk_handles.push(self.post_inv(Arc::new(dk_j))?);
+            dv_handles.push(self.post_inv(Arc::new(dv_j))?);
         }
 
-        let cat = |parts: &[Tensor]| -> ExecResult<Tensor> {
+        let cat = |handles: Vec<PendingTensor>| -> ExecResult<Tensor> {
+            let parts = handles
+                .into_iter()
+                .map(Pending::wait)
+                .collect::<ExecResult<Vec<Tensor>>>()?;
             let refs: Vec<&Tensor> = parts.iter().collect();
             Ok(Tensor::concat(&refs, 0)?)
         };
-        Ok((cat(&dq_parts)?, cat(&dk_parts)?, cat(&dv_parts)?))
+        Ok((cat(dq_handles)?, cat(dk_handles)?, cat(dv_handles)?))
     }
 
     fn discard(&mut self, layer: usize) {
@@ -689,10 +827,11 @@ mod tests {
         };
 
         let results = run_group(world, |comm| {
+            let comm = Arc::new(comm);
             let rank = comm.rank();
             let plan = ChunkPlan::new(s, world, chunks).unwrap();
             let pos = plan.local_positions(rank);
-            let mut ex = DistAttention::new(&comm, plan, offload);
+            let mut ex = DistAttention::new(comm, plan, offload);
             let o = ex
                 .forward(
                     0,
@@ -771,7 +910,7 @@ mod tests {
                 let refs: Vec<&Tensor> = parts.iter().collect();
                 Tensor::concat(&refs, 0).unwrap()
             };
-            let mut ex = DistAttention::new(&comm, plan, true);
+            let mut ex = DistAttention::new(Arc::new(comm), plan, true);
             ex.forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
                 .unwrap();
             ex.backward(0, &dout).unwrap();
@@ -803,7 +942,7 @@ mod tests {
                 let refs: Vec<&Tensor> = parts.iter().collect();
                 Tensor::concat(&refs, 0).unwrap()
             };
-            let mut ex = DistAttention::new(&comm, plan, true);
+            let mut ex = DistAttention::new(Arc::new(comm), plan, true);
             ex.forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
                 .unwrap();
             let after_fwd = ex.host_stats();
@@ -842,7 +981,7 @@ mod tests {
                     offload: true,
                     prefetch,
                 };
-                let mut ex = DistAttention::with_opts(&comm, plan, opts);
+                let mut ex = DistAttention::with_opts(Arc::new(comm), plan, opts);
                 let o = ex
                     .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
                     .unwrap();

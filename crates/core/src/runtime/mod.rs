@@ -11,10 +11,14 @@
 //! * [`exec`] — those attention executors.
 //! * [`dist`] — the multi-threaded trainer that reproduces paper
 //!   Figure 14: baseline and FPDT loss curves coincide.
+//! * [`options`] — [`RuntimeOptions`], the single builder behind every
+//!   runtime knob (offload, prefetch, comm stream, kernel threads).
 
 pub mod data;
 pub mod dist;
 pub mod exec;
 pub mod gpt;
+pub mod options;
 
 pub use dist::{train, train_traced, Mode, TrainConfig, TrainReport};
+pub use options::RuntimeOptions;

@@ -1,0 +1,223 @@
+//! The single front door for every runtime knob.
+//!
+//! Before this module, tuning was scattered: [`ExecOpts`] carried
+//! `offload`/`prefetch`, `TrainConfig` had its own optional override,
+//! the kernel pool read `FPDT_THREADS`, the tensor ops read
+//! `FPDT_PAR_THRESHOLD`, and the offload stream read `FPDT_PREFETCH` —
+//! each with its own parsing. [`RuntimeOptions`] collapses them into one
+//! builder with one documented [`RuntimeOptions::from_env`], so "what is
+//! this run actually configured to do?" has a single answer.
+//!
+//! Every knob is a *pure system* toggle: losses, gradients, and
+//! communication statistics are bitwise identical across all settings.
+//! The flags only move work between threads and streams.
+//!
+//! ## Environment variables
+//!
+//! | Variable             | Effect                                       | Default |
+//! |----------------------|----------------------------------------------|---------|
+//! | `FPDT_PREFETCH`      | offload copy stream (`0`/`false`/`off` = no) | on      |
+//! | `FPDT_COMM_ASYNC`    | all-to-all comm stream (same syntax)         | on      |
+//! | `FPDT_THREADS`       | kernel pool thread budget                    | num CPUs|
+//! | `FPDT_PAR_THRESHOLD` | min elements before kernels split            | 4096    |
+
+use super::exec::ExecOpts;
+
+/// Parses the shared flag syntax: unset means `default`; `0`, `false`,
+/// or `off` disable; any other value enables.
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name).ok().as_deref() {
+        None => default,
+        Some("0") | Some("false") | Some("off") => false,
+        Some(_) => true,
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Every runtime knob, in one place, with a builder for overrides.
+///
+/// Construct with [`RuntimeOptions::from_env`] (or `Default`, which is
+/// the same), then chain `with_*` calls:
+///
+/// ```
+/// use fpdt_core::runtime::RuntimeOptions;
+///
+/// let opts = RuntimeOptions::from_env()
+///     .with_offload(true)
+///     .with_comm_async(false);
+/// assert!(opts.offload && !opts.comm_async);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Cache attention chunks in the host pool ("CPU DRAM") instead of a
+    /// device-side map. Observable only through transfer statistics.
+    pub offload: bool,
+    /// Double-buffer host transfers on the asynchronous copy stream
+    /// (paper Figure 13). Only meaningful with `offload`.
+    pub prefetch: bool,
+    /// Post per-chunk all-to-alls on the asynchronous communication
+    /// stream, so chunk `i+1`'s wire time hides behind chunk `i`'s
+    /// compute. `FPDT_COMM_ASYNC`.
+    pub comm_async: bool,
+    /// Kernel pool thread budget override (`None` = leave the pool at its
+    /// `FPDT_THREADS`-derived setting).
+    pub threads: Option<usize>,
+    /// Parallel-split threshold override (`None` = leave the tensor ops
+    /// at their `FPDT_PAR_THRESHOLD`-derived setting).
+    pub par_threshold: Option<usize>,
+}
+
+impl RuntimeOptions {
+    /// Reads every `FPDT_*` knob — the one documented parse point (see
+    /// the module table). `threads`/`par_threshold` are `Some` only when
+    /// their variable is set: the kernel layers already initialize
+    /// themselves from the same variables, so `None` means "leave the
+    /// pool alone" rather than "reset to default".
+    pub fn from_env() -> Self {
+        RuntimeOptions {
+            offload: false,
+            prefetch: env_flag("FPDT_PREFETCH", true),
+            comm_async: env_flag("FPDT_COMM_ASYNC", true),
+            threads: env_usize("FPDT_THREADS"),
+            par_threshold: env_usize("FPDT_PAR_THRESHOLD"),
+        }
+    }
+
+    /// Sets host offload on or off.
+    #[must_use]
+    pub fn with_offload(mut self, offload: bool) -> Self {
+        self.offload = offload;
+        self
+    }
+
+    /// Sets the offload copy stream on or off.
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the asynchronous communication stream on or off.
+    #[must_use]
+    pub fn with_comm_async(mut self, comm_async: bool) -> Self {
+        self.comm_async = comm_async;
+        self
+    }
+
+    /// Overrides the kernel pool thread budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the parallel-split threshold.
+    #[must_use]
+    pub fn with_par_threshold(mut self, par_threshold: usize) -> Self {
+        self.par_threshold = Some(par_threshold);
+        self
+    }
+
+    /// Pushes `threads`/`par_threshold` overrides into the process-wide
+    /// kernel settings, returning the previous `(threads, par_threshold)`
+    /// so callers can restore them. `None` fields leave the current
+    /// setting untouched (but its previous value is still reported).
+    pub fn apply_kernel_globals(&self) -> (usize, usize) {
+        let prev_threads = match self.threads {
+            Some(n) => rayon::pool::set_threads(n),
+            None => rayon::pool::current_threads(),
+        };
+        let prev_threshold = match self.par_threshold {
+            Some(n) => fpdt_tensor::par::set_par_threshold(n),
+            None => fpdt_tensor::par::par_threshold(),
+        };
+        (prev_threads, prev_threshold)
+    }
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Existing `ExecOpts` call sites keep compiling: the executor accepts
+/// `impl Into<RuntimeOptions>`, and the legacy pair picks up the
+/// environment's comm-stream setting.
+impl From<ExecOpts> for RuntimeOptions {
+    fn from(opts: ExecOpts) -> Self {
+        RuntimeOptions::from_env()
+            .with_offload(opts.offload)
+            .with_prefetch(opts.prefetch)
+    }
+}
+
+/// Narrowing view for code that only cares about the offload pair.
+impl From<RuntimeOptions> for ExecOpts {
+    fn from(opts: RuntimeOptions) -> Self {
+        ExecOpts {
+            offload: opts.offload,
+            prefetch: opts.prefetch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_roundtrips_exec_opts() {
+        let opts = RuntimeOptions::from_env()
+            .with_offload(true)
+            .with_prefetch(false)
+            .with_comm_async(false)
+            .with_threads(3)
+            .with_par_threshold(1);
+        assert!(opts.offload && !opts.prefetch && !opts.comm_async);
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(opts.par_threshold, Some(1));
+
+        let legacy = ExecOpts::from(opts);
+        assert!(legacy.offload && !legacy.prefetch);
+        let back = RuntimeOptions::from(legacy);
+        assert!(back.offload && !back.prefetch);
+    }
+
+    #[test]
+    fn flag_syntax_is_shared() {
+        // A dedicated test variable avoids racing other tests that read
+        // the real knobs concurrently.
+        for (val, want) in [
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some("1"), true),
+            (Some("yes"), true),
+            (None, true),
+        ] {
+            match val {
+                Some(v) => std::env::set_var("FPDT_TEST_FLAG", v),
+                None => std::env::remove_var("FPDT_TEST_FLAG"),
+            }
+            assert_eq!(env_flag("FPDT_TEST_FLAG", true), want, "{val:?}");
+        }
+        std::env::remove_var("FPDT_TEST_FLAG");
+        assert!(!env_flag("FPDT_TEST_FLAG", false), "default respected");
+    }
+
+    #[test]
+    fn kernel_globals_apply_and_restore() {
+        let (t0, p0) = RuntimeOptions::from_env().apply_kernel_globals();
+        let (t1, p1) = RuntimeOptions::from_env()
+            .with_threads(t0)
+            .with_par_threshold(p0)
+            .apply_kernel_globals();
+        // Identity round trip: applying the previous values reports them
+        // back unchanged.
+        assert_eq!((t0, p0), (t1, p1));
+    }
+}

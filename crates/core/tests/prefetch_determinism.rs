@@ -69,7 +69,7 @@ fn grad_run(seed: u64, world: usize, prefetch: bool) -> Vec<(f32, Vec<f32>)> {
             offload: true,
             prefetch,
         };
-        let mut exec = DistAttention::with_opts(&comm, plan, opts);
+        let mut exec = DistAttention::with_opts(std::sync::Arc::new(comm), plan, opts);
         model.zero_grad();
         let stats = model
             .forward_backward(&mut exec, &tokens, &targets, &pos, 2 * chunks, 2)
@@ -135,11 +135,11 @@ fn training_reports_identical_losses_and_pool_traffic_either_way() {
     let (on, off) = {
         let _cfg = ForcedParallel::new(4);
         let on = train(&TrainConfig {
-            prefetch: Some(true),
+            runtime: base.runtime.with_prefetch(true),
             ..base.clone()
         });
         let off = train(&TrainConfig {
-            prefetch: Some(false),
+            runtime: base.runtime.with_prefetch(false),
             ..base.clone()
         });
         (on, off)

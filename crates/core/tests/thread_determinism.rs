@@ -62,7 +62,7 @@ fn grad_run(seed: u64, world: usize, chunks: usize, offload: bool) -> Vec<(f32, 
             plan.local_positions(rank),
         );
         let mut model = GptModel::new(&model_cfg, seed);
-        let mut exec = DistAttention::new(&comm, plan, offload);
+        let mut exec = DistAttention::new(std::sync::Arc::new(comm), plan, offload);
         model.zero_grad();
         let stats = model
             .forward_backward(&mut exec, &tokens, &targets, &pos, 2 * chunks, 2)

@@ -27,4 +27,4 @@ pub mod span;
 
 pub use chrome::sim_chrome_trace;
 pub use metrics::ScheduleMetrics;
-pub use span::{overlap_fraction, Recorder, Span, SpanRecord};
+pub use span::{cross_thread_overlap_fraction, overlap_fraction, Recorder, Span, SpanRecord};

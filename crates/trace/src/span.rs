@@ -147,6 +147,16 @@ impl Recorder {
             .sum()
     }
 
+    /// Number of spans recorded under labels starting with `prefix` —
+    /// schedule audits ("exactly one `comm.post` per chunk") count spans,
+    /// not time.
+    pub fn count(&self, prefix: &str) -> usize {
+        self.records()
+            .iter()
+            .filter(|s| s.label.starts_with(prefix))
+            .count()
+    }
+
     /// Total payload bytes recorded under labels starting with `prefix`
     /// (spans without a [`Span::bytes`] payload contribute nothing).
     pub fn total_bytes(&self, prefix: &str) -> u64 {
@@ -217,6 +227,25 @@ fn intervals_for(records: &[SpanRecord], prefixes: &[&str]) -> Vec<(f64, f64)> {
     )
 }
 
+/// Sum of `|a ∩ b|` over two sorted disjoint interval lists.
+fn intersection(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let mut overlap = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            overlap += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    overlap
+}
+
 /// Fraction of the copy busy time that ran concurrently with compute —
 /// the paper's Figure-13 overlap claim, measured on wall-clock spans.
 ///
@@ -237,22 +266,62 @@ pub fn overlap_fraction(
     if copy_busy <= 0.0 {
         return 0.0;
     }
-    // Two-pointer sweep over the two sorted disjoint interval lists.
-    let mut overlap = 0.0f64;
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < copy.len() && j < compute.len() {
-        let lo = copy[i].0.max(compute[j].0);
-        let hi = copy[i].1.min(compute[j].1);
-        if hi > lo {
-            overlap += hi - lo;
-        }
-        if copy[i].1 <= compute[j].1 {
-            i += 1;
-        } else {
-            j += 1;
-        }
+    intersection(&copy, &compute) / copy_busy
+}
+
+/// [`overlap_fraction`] restricted to *cross-thread* concurrency: a copy
+/// span only counts as overlapped while a compute span from a **different
+/// thread** is running.
+///
+/// This is the right metric for streams with an inline fallback. When an
+/// asynchronous stream is disabled, its work runs synchronously on the
+/// consumer's own thread — often nested inside an enclosing phase span —
+/// and the thread-blind [`overlap_fraction`] would score that nesting as
+/// perfect overlap. Excluding the span's own thread makes inline work
+/// score exactly 0 (one thread cannot overlap itself), matching the CUDA
+/// meaning: work on the compute stream hides nothing.
+pub fn cross_thread_overlap_fraction(
+    records: &[SpanRecord],
+    copy_prefixes: &[&str],
+    compute_prefixes: &[&str],
+) -> f64 {
+    let copy_spans: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|s| copy_prefixes.iter().any(|p| s.label.starts_with(p)))
+        .collect();
+    let copy_busy: f64 = copy_spans.iter().map(|s| s.dur_us).sum();
+    if copy_busy <= 0.0 {
+        return 0.0;
     }
-    overlap / copy_busy
+    // Per copy-side thread: that thread's merged copy intervals against
+    // the union of every *other* thread's compute intervals.
+    let mut copy_tids: Vec<u64> = copy_spans.iter().map(|s| s.tid).collect();
+    copy_tids.sort_unstable();
+    copy_tids.dedup();
+    let mut overlap = 0.0f64;
+    for tid in copy_tids {
+        let copy = merge_intervals(
+            copy_spans
+                .iter()
+                .filter(|s| s.tid == tid)
+                .map(|s| (s.start_us, s.start_us + s.dur_us))
+                .collect(),
+        );
+        let compute = merge_intervals(
+            records
+                .iter()
+                .filter(|s| {
+                    s.tid != tid && compute_prefixes.iter().any(|p| s.label.starts_with(p))
+                })
+                .map(|s| (s.start_us, s.start_us + s.dur_us))
+                .collect(),
+        );
+        overlap += intersection(&copy, &compute);
+    }
+    // busy sums raw durations while overlap comes from interval endpoint
+    // arithmetic; clamp the epsilon disagreement so a fully hidden
+    // stream reports exactly 1.0.
+    (overlap / copy_busy).min(1.0)
 }
 
 #[cfg(test)]
@@ -303,6 +372,8 @@ mod tests {
         assert!((rec.total_us("offload.") - 15.0).abs() < 1e-9);
         assert_eq!(rec.total_bytes("offload."), 64);
         assert_eq!(rec.total_bytes("attn."), 128);
+        assert_eq!(rec.count("offload."), 2);
+        assert_eq!(rec.count("comm."), 0);
     }
 
     fn rec(label: &str, start: f64, dur: f64) -> SpanRecord {
@@ -341,5 +412,61 @@ mod tests {
             rec("kernel.a", 0.0, 30.0),
         ];
         assert!((overlap_fraction(&r, &["offload."], &["kernel."]) - 1.0).abs() < 1e-9);
+    }
+
+    fn rec_on(tid: u64, label: &str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            tid,
+            ..rec(label, start, dur)
+        }
+    }
+
+    #[test]
+    fn cross_thread_overlap_ignores_same_thread_nesting() {
+        // Inline fallback shape: the wire span is nested inside the
+        // consumer's own phase span. Thread-blind overlap scores 1.0;
+        // the cross-thread metric must score exactly 0.
+        let inline = vec![
+            rec_on(0, "block.fwd", 0.0, 100.0),
+            rec_on(0, "comm.inflight", 10.0, 20.0),
+        ];
+        assert!((overlap_fraction(&inline, &["comm.inflight"], &["block."]) - 1.0).abs() < 1e-9);
+        assert_eq!(
+            cross_thread_overlap_fraction(&inline, &["comm.inflight"], &["block."]),
+            0.0
+        );
+
+        // Same timeline but the wire span rides a worker thread: fully
+        // hidden behind the other thread's compute.
+        let streamed = vec![
+            rec_on(0, "block.fwd", 0.0, 100.0),
+            rec_on(1, "comm.inflight", 10.0, 20.0),
+        ];
+        assert!(
+            (cross_thread_overlap_fraction(&streamed, &["comm.inflight"], &["block."]) - 1.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(
+            cross_thread_overlap_fraction(&[], &["comm.inflight"], &["block."]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn cross_thread_overlap_is_per_thread_and_partial() {
+        // Worker-thread wire span [0,10) against compute [5,15) on the
+        // consumer thread -> half hidden; a second inline span on the
+        // consumer thread [20,30) adds busy time but no overlap, so the
+        // total fraction is 5/20.
+        let r = vec![
+            rec_on(0, "attn.fwd.chunk", 5.0, 10.0),
+            rec_on(1, "comm.inflight", 0.0, 10.0),
+            rec_on(0, "comm.inflight", 20.0, 10.0),
+        ];
+        assert!(
+            (cross_thread_overlap_fraction(&r, &["comm.inflight"], &["attn."]) - 0.25).abs()
+                < 1e-9
+        );
     }
 }

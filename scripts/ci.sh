@@ -48,6 +48,12 @@ if ! grep -q '^RUNTIME_OVERLAP_OK ' <<<"$out"; then
     echo "FAIL: prefetch-enabled run measured no compute/copy overlap" >&2
     exit 1
 fi
+# Same gate for the communication stream: the comm-enabled run must hide
+# a strictly positive fraction of its wire time behind compute.
+if ! grep -q '^RUNTIME_COMM_OVERLAP_OK ' <<<"$out"; then
+    echo "FAIL: comm-stream-enabled run measured no compute/comm overlap" >&2
+    exit 1
+fi
 
 echo "==> cargo test -q --workspace under FPDT_THREADS=1"
 # The whole suite must also pass with the kernel pool pinned to a single
@@ -58,5 +64,10 @@ echo "==> cargo test -q --workspace under FPDT_PREFETCH=0"
 # And with the async copy stream globally disabled: prefetch is a latency
 # optimisation, never a semantic one.
 FPDT_PREFETCH=0 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace under FPDT_COMM_ASYNC=0"
+# And with the async communication stream globally disabled: posting
+# all-to-alls early is likewise a pure latency optimisation.
+FPDT_COMM_ASYNC=0 cargo test -q --workspace
 
 echo "CI OK"

@@ -206,8 +206,9 @@ fn long_range_copy_task_crosses_chunk_boundaries() {
         let world = 2;
         let chunks = 4;
         let results = run_group(world, |comm| {
+            let comm = std::sync::Arc::new(comm);
             let plan = ChunkPlan::new(2 * half, world, chunks).unwrap();
-            let mut exec = DistAttention::new(&comm, plan, true);
+            let mut exec = DistAttention::new(std::sync::Arc::clone(&comm), plan, true);
             let mut model = GptModel::new(&cfg, 0);
             let mut opt = AdamW::new(AdamWConfig {
                 lr: 3e-3,

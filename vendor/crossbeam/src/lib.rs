@@ -5,7 +5,7 @@
 
 /// MPMC-ish channels (here: std mpsc wrappers with crossbeam's names).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
 
     /// Sending half of an unbounded channel.
     #[derive(Debug)]
@@ -18,8 +18,13 @@ pub mod channel {
     }
 
     /// Receiving half of an unbounded channel.
+    ///
+    /// Like crossbeam's receiver (and unlike raw `std::sync::mpsc`), this is
+    /// `Send + Sync`: the inner endpoint is serialized behind a mutex so it
+    /// can be shared across threads (e.g. a rank handing its wire to a
+    /// communication worker thread).
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
 
     /// The message could not be delivered: the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +37,7 @@ pub mod channel {
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(Mutex::new(rx)))
     }
 
     impl<T> Sender<T> {
@@ -46,13 +51,15 @@ pub mod channel {
         /// Blocks for the next message, failing once all senders are gone
         /// and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
         }
 
         /// Non-blocking receive; `None` when the queue is currently empty
         /// or the channel is disconnected.
         pub fn try_recv(&self) -> Option<T> {
-            self.0.try_recv().ok()
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_recv().ok()
         }
     }
 }
