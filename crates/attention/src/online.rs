@@ -169,9 +169,7 @@ impl OnlineAttention {
                     } else {
                         0.0
                     };
-                    for o in acc_h.iter_mut() {
-                        *o *= correction;
-                    }
+                    par::scale(acc_h, correction);
                     let mut block_l = 0.0f32;
                     for b in 0..sk {
                         if !scores[b].is_finite() {
@@ -180,9 +178,7 @@ impl OnlineAttention {
                         let p = (scores[b] - m_new).exp();
                         block_l += p;
                         let v_row = &vd[b * hkvd + kvh * d..b * hkvd + kvh * d + d];
-                        for (o, &vv) in acc_h.iter_mut().zip(v_row) {
-                            *o += p * vv;
-                        }
+                        par::axpy(acc_h, p, v_row);
                     }
                     l_i[0] = l_i[0] * correction + block_l;
                     m_i[0] = m_new;
@@ -205,9 +201,7 @@ impl OnlineAttention {
             let l = lv[item];
             let m = mv[item];
             if l > 0.0 {
-                for x in o.iter_mut() {
-                    *x /= l;
-                }
+                par::dscale(o, l);
                 lse_i[0] = m + l.ln();
             } else {
                 o.fill(0.0);

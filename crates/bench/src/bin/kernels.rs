@@ -1,20 +1,26 @@
 //! Kernel-backend benchmark: wall-clock and GFLOP/s of the hot compute
 //! kernels (tiled matmul forward/backward, online attention
-//! forward/backward, layer-norm backward, fused cross-entropy) with the
-//! thread pool pinned to one thread versus the full `FPDT_THREADS` budget.
+//! forward/backward, layer-norm backward, fused cross-entropy) across two
+//! axes: the microkernel backend (portable scalar vs AVX2/FMA, when the
+//! CPU has it) and the thread pool pinned to one thread versus the full
+//! `FPDT_THREADS` budget.
 //!
 //! Because every kernel partitions its work into fixed disjoint items with
-//! sequential in-item accumulation, the two configurations produce bitwise
-//! identical results — the benchmark asserts that on every run before
-//! reporting the speedup.
+//! sequential in-item accumulation — and because both microkernel
+//! backends run the same generic kernel with the same reduction tree —
+//! every configuration produces bitwise identical results; the benchmark
+//! asserts that on every run before reporting the speedups.
 //!
 //! Pass `--json` to suppress the table and emit only
 //! `target/experiments/BENCH_kernels.json`; `--quick` shrinks the problem
-//! sizes for CI smoke runs.
+//! sizes for CI smoke runs. With AVX2 present, a `KERNELS_SIMD_OK` line
+//! is printed when the single-thread SIMD matmul is at least 2x its own
+//! scalar fallback — the gate `scripts/ci.sh` greps for.
 
 use fpdt_attention::flops::{attention_bwd_flops, attention_fwd_flops};
 use fpdt_attention::online::{attention_block_bwd, rowwise_dot, OnlineAttention};
 use fpdt_bench::json_mode;
+use fpdt_tensor::mk::{self, Backend};
 use fpdt_tensor::{init, ops, Tensor};
 use rayon::pool;
 use serde::Serialize;
@@ -23,6 +29,7 @@ use std::time::Instant;
 #[derive(Serialize, Clone)]
 struct Row {
     kernel: String,
+    backend: String,
     threads: usize,
     wall_ms: f64,
     gflops: f64,
@@ -33,9 +40,13 @@ struct Report {
     bench: &'static str,
     hardware_threads: usize,
     budget_threads: usize,
+    avx2: bool,
     rows: Vec<Row>,
-    /// `wall(1 thread) / wall(budget)` per kernel.
+    /// `wall(1 thread) / wall(budget)` per kernel, on the dispatch backend.
     speedups: Vec<(String, f64)>,
+    /// `wall(scalar) / wall(avx2)` per kernel at one thread (empty
+    /// without AVX2).
+    simd_speedups: Vec<(String, f64)>,
 }
 
 /// Runs `f` `reps` times and returns the best wall-clock seconds (least
@@ -196,54 +207,82 @@ fn main() {
         vec![1, 2]
     };
 
+    // Scalar always; the AVX2 instantiation when this CPU can run it.
+    let mut backends: Vec<(&str, Backend)> = vec![("scalar", Backend::Scalar)];
+    if mk::avx2_available() {
+        backends.push(("avx2", Backend::Avx2));
+    }
+
     let mut rows: Vec<Row> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut simd_speedups: Vec<(String, f64)> = Vec::new();
     for mut bench in benches(quick) {
         // Warm up once (fills scratch buffers, faults pages).
         (bench.run)();
-        let mut walls: Vec<(usize, f64)> = Vec::new();
+        // (backend, threads, wall) across the full grid; every cell must
+        // digest identically.
+        let mut walls: Vec<(&str, usize, f64)> = Vec::new();
         let mut digests: Vec<u64> = Vec::new();
-        for &t in &configs {
-            let prev = pool::set_threads(t);
-            let (wall, dg) = time_best(reps, &mut bench.run);
-            pool::set_threads(prev);
-            walls.push((t, wall));
-            digests.push(dg);
-            rows.push(Row {
-                kernel: bench.name.to_string(),
-                threads: t,
-                wall_ms: wall * 1e3,
-                gflops: bench.flops as f64 / wall / 1e9,
-            });
+        for &(bname, be) in &backends {
+            let prev_be = mk::set_backend(Some(be));
+            for &t in &configs {
+                let prev = pool::set_threads(t);
+                let (wall, dg) = time_best(reps, &mut bench.run);
+                pool::set_threads(prev);
+                walls.push((bname, t, wall));
+                digests.push(dg);
+                rows.push(Row {
+                    kernel: bench.name.to_string(),
+                    backend: bname.to_string(),
+                    threads: t,
+                    wall_ms: wall * 1e3,
+                    gflops: bench.flops as f64 / wall / 1e9,
+                });
+            }
+            mk::set_backend(prev_be);
         }
         assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
-            "{}: outputs differ across thread counts",
+            "{}: outputs differ across backend/thread configurations",
             bench.name
         );
-        let base = walls[0].1;
-        let best = walls.last().expect("at least one config").1;
-        speedups.push((bench.name.to_string(), base / best));
+        // Thread speedup on the dispatch backend (the last one timed).
+        let last = &walls[walls.len() - configs.len()..];
+        speedups.push((bench.name.to_string(), last[0].2 / last[last.len() - 1].2));
+        if backends.len() > 1 {
+            let wall_at = |bname: &str| {
+                walls
+                    .iter()
+                    .find(|(b, t, _)| *b == bname && *t == 1)
+                    .expect("timed above")
+                    .2
+            };
+            simd_speedups.push((bench.name.to_string(), wall_at("scalar") / wall_at("avx2")));
+        }
     }
 
     if !quiet {
         println!(
-            "kernel backend: {} hardware threads, budget {}",
+            "kernel backend: {} hardware threads, budget {}, avx2 {}",
             pool::hardware_threads(),
-            budget
+            budget,
+            mk::avx2_available()
         );
         println!(
-            "{:<16}{:>9}{:>12}{:>12}",
-            "kernel", "threads", "wall ms", "GFLOP/s"
+            "{:<16}{:>9}{:>9}{:>12}{:>12}",
+            "kernel", "backend", "threads", "wall ms", "GFLOP/s"
         );
         for r in &rows {
             println!(
-                "{:<16}{:>9}{:>12.3}{:>12.2}",
-                r.kernel, r.threads, r.wall_ms, r.gflops
+                "{:<16}{:>9}{:>9}{:>12.3}{:>12.2}",
+                r.kernel, r.backend, r.threads, r.wall_ms, r.gflops
             );
         }
         for (name, s) in &speedups {
             println!("speedup {name}: {s:.2}x (bitwise identical outputs)");
+        }
+        for (name, s) in &simd_speedups {
+            println!("simd speedup {name}: {s:.2}x over scalar (bitwise identical)");
         }
     }
 
@@ -251,8 +290,10 @@ fn main() {
         bench: "kernels",
         hardware_threads: pool::hardware_threads(),
         budget_threads: budget,
+        avx2: mk::avx2_available(),
         rows,
         speedups,
+        simd_speedups: simd_speedups.clone(),
     };
     let dir = std::path::PathBuf::from("target/experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
@@ -271,4 +312,13 @@ fn main() {
     );
     assert!(has_rows, "rows array present");
     println!("BENCH_JSON_OK {}", path.display());
+    // CI gate: with AVX2 present, the single-thread SIMD matmul must be
+    // at least 2x its own scalar fallback.
+    if let Some((_, s)) = simd_speedups.iter().find(|(n, _)| n == "matmul") {
+        if *s >= 2.0 {
+            println!("KERNELS_SIMD_OK matmul {s:.2}x");
+        } else {
+            println!("KERNELS_SIMD_FAIL matmul {s:.2}x < 2.00x");
+        }
+    }
 }

@@ -44,6 +44,7 @@ const COMPUTE: &[&str] = &["block.", "attn.", "kernel."];
 struct Row {
     prefetch: bool,
     comm_async: bool,
+    payload_bf16: bool,
     wall_ms: f64,
     tokens_per_s: f64,
     overlap_fraction: f64,
@@ -65,6 +66,9 @@ struct Report {
     steps: usize,
     chunks: usize,
     threads: usize,
+    /// Simulated interconnect bandwidth (`FPDT_SIM_GBPS`) the transfers
+    /// were timed against.
+    sim_gbps: f64,
     rows: Vec<Row>,
     losses_bitwise_identical: bool,
 }
@@ -85,6 +89,15 @@ fn digest(vals: &[f32]) -> u64 {
 fn main() {
     let quiet = json_mode();
     let quick = std::env::args().any(|a| a == "--quick");
+    // This bench measures *transfer* overlap, so transfers must take
+    // wall-clock time proportional to their wire bytes: model a ~1 GB/s
+    // pageable host link (see `fpdt_trace::wire`) unless the caller
+    // already picked a bandwidth. Must happen before any engine runs —
+    // the knob is parsed once.
+    if std::env::var_os("FPDT_SIM_GBPS").is_none() {
+        std::env::set_var("FPDT_SIM_GBPS", "1");
+    }
+    let sim_gbps = fpdt_trace::wire::link_gbps();
     // Large enough that attention kernels run for hundreds of µs —
     // otherwise the sub-µs simulated transfers fall into scheduling gaps
     // between kernels and no overlap is measurable at all.
@@ -98,7 +111,7 @@ fn main() {
     let prev_threads = pool::set_threads(pool::current_threads().max(4));
     let threads = pool::current_threads();
 
-    let run = |prefetch: bool, comm_async: bool| {
+    let run = |prefetch: bool, comm_async: bool, payload_bf16: bool| {
         let cfg = TrainConfig {
             model: ModelConfig::tiny(2, 64, 4, 50),
             world: 1,
@@ -108,9 +121,12 @@ fn main() {
                 chunks,
                 offload: true,
             },
+            // Pin every knob explicitly so an ambient `FPDT_BF16` cannot
+            // leak into the f32 legs and break their digest equality.
             runtime: RuntimeOptions::from_env()
                 .with_prefetch(prefetch)
-                .with_comm_async(comm_async),
+                .with_comm_async(comm_async)
+                .with_payload_bf16(payload_bf16),
             ..TrainConfig::default()
         };
         let rec = Recorder::new();
@@ -129,6 +145,7 @@ fn main() {
         Row {
             prefetch,
             comm_async,
+            payload_bf16,
             wall_ms: wall * 1e3,
             tokens_per_s: (seq * steps) as f64 / wall,
             overlap_fraction: cross_thread_overlap_fraction(&records, COPY, COMPUTE),
@@ -146,12 +163,17 @@ fn main() {
         }
     };
 
-    // Fully overlapped, comm stream alone disabled, fully serial.
-    let on = run(true, true);
-    let comm_off = run(true, false);
-    let off = run(false, false);
+    // Fully overlapped, comm stream alone disabled, fully serial — all in
+    // f32 — plus the paper configuration: both streams with bf16 wire
+    // payloads (half the offload/all-to-all bytes, compute still f32).
+    let on = run(true, true, false);
+    let comm_off = run(true, false, false);
+    let off = run(false, false, false);
+    let bf16 = run(true, true, true);
     pool::set_threads(prev_threads);
 
+    // The three f32 legs must agree bitwise; the bf16 leg rounds payloads
+    // and only has to halve the wire traffic exactly.
     let identical =
         on.loss_digest == off.loss_digest && on.loss_digest == comm_off.loss_digest;
     assert!(
@@ -159,21 +181,32 @@ fn main() {
         "stream on/off trajectories diverged: {:#x} / {:#x} / {:#x}",
         on.loss_digest, comm_off.loss_digest, off.loss_digest
     );
+    assert_eq!(
+        bf16.bytes_a2a * 2,
+        on.bytes_a2a,
+        "bf16 all-to-all traffic must be exactly half the f32 leg"
+    );
+    assert!(
+        bf16.bytes_h2d < on.bytes_h2d && bf16.bytes_d2h < on.bytes_d2h,
+        "bf16 offload traffic must shrink (KV chunks move as bf16)"
+    );
 
-    let rows = vec![on.clone(), comm_off.clone(), off.clone()];
+    let rows = vec![on.clone(), comm_off.clone(), off.clone(), bf16.clone()];
     if !quiet {
         println!(
-            "runtime throughput: seq {seq}, {steps} steps, {chunks} chunks, {threads} threads"
+            "runtime throughput: seq {seq}, {steps} steps, {chunks} chunks, {threads} threads, \
+             {sim_gbps} GB/s simulated link"
         );
         println!(
-            "{:<10}{:<8}{:>10}{:>12}{:>10}{:>12}{:>14}{:>14}",
-            "prefetch", "comm", "wall ms", "tokens/s", "overlap", "comm ovl", "copy busy us", "comm busy us"
+            "{:<10}{:<8}{:<7}{:>10}{:>12}{:>10}{:>12}{:>14}{:>14}",
+            "prefetch", "comm", "bf16", "wall ms", "tokens/s", "overlap", "comm ovl", "copy busy us", "comm busy us"
         );
         for r in &rows {
             println!(
-                "{:<10}{:<8}{:>10.1}{:>12.0}{:>10.3}{:>12.3}{:>14.1}{:>14.1}",
+                "{:<10}{:<8}{:<7}{:>10.1}{:>12.0}{:>10.3}{:>12.3}{:>14.1}{:>14.1}",
                 r.prefetch,
                 r.comm_async,
+                r.payload_bf16,
                 r.wall_ms,
                 r.tokens_per_s,
                 r.overlap_fraction,
@@ -183,8 +216,10 @@ fn main() {
             );
         }
         let delta = 100.0 * (on.tokens_per_s / off.tokens_per_s - 1.0);
-        println!("tokens/s delta (both streams on vs off): {delta:+.1}%");
-        println!("losses bitwise identical: {identical}");
+        println!("tokens/s delta (both streams on vs off, f32): {delta:+.1}%");
+        let bf_delta = 100.0 * (bf16.tokens_per_s / off.tokens_per_s - 1.0);
+        println!("tokens/s delta (bf16 streams on vs f32 streams off): {bf_delta:+.1}%");
+        println!("losses bitwise identical (f32 legs): {identical}");
     }
 
     let report = Report {
@@ -193,6 +228,7 @@ fn main() {
         steps,
         chunks,
         threads,
+        sim_gbps,
         rows,
         losses_bitwise_identical: identical,
     };
@@ -231,4 +267,40 @@ fn main() {
         std::process::exit(1);
     }
     println!("RUNTIME_COMM_OVERLAP_OK {:.4}", on.comm_overlap_fraction);
+
+    // The overlap machinery must keep working when payloads move as bf16.
+    if bf16.overlap_fraction <= 0.0 {
+        eprintln!(
+            "RUNTIME_BF16_OVERLAP_FAIL: bf16 run measured zero compute/copy \
+             overlap"
+        );
+        std::process::exit(1);
+    }
+    println!("RUNTIME_BF16_OVERLAP_OK {:.4}", bf16.overlap_fraction);
+    if bf16.comm_overlap_fraction <= 0.0 {
+        eprintln!(
+            "RUNTIME_BF16_COMM_OVERLAP_FAIL: bf16 run measured zero \
+             compute/comm overlap"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "RUNTIME_BF16_COMM_OVERLAP_OK {:.4}",
+        bf16.comm_overlap_fraction
+    );
+
+    // ROADMAP item #1: a configuration where the overlapped runtime beats
+    // streams-off in tokens/s. Halving the wire bytes is what tips it.
+    if bf16.tokens_per_s <= off.tokens_per_s {
+        eprintln!(
+            "RUNTIME_BF16_WIN_FAIL: bf16 streams-on {:.0} tokens/s did not \
+             beat f32 streams-off {:.0} tokens/s",
+            bf16.tokens_per_s, off.tokens_per_s
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "RUNTIME_BF16_WIN_OK {:.0} > {:.0} tokens/s",
+        bf16.tokens_per_s, off.tokens_per_s
+    );
 }

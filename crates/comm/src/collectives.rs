@@ -32,6 +32,31 @@ impl Communicator {
             .collect()
     }
 
+    /// All-to-all with bf16 wire payloads: identical data movement and
+    /// collective tag to [`Communicator::all_to_all`], but each part is
+    /// rounded to bf16 before posting (half the wire bytes) and widened
+    /// back to f32 on receive. The `FPDT_BF16` path for FPDT's per-chunk
+    /// fused-QKV exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WrongPartCount`] unless `parts.len() == world`.
+    pub fn all_to_all_bf16(&self, parts: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>> {
+        if parts.len() != self.world() {
+            return Err(CommError::WrongPartCount {
+                op: "all_to_all",
+                expected: self.world(),
+                actual: parts.len(),
+            });
+        }
+        for (peer, part) in parts.iter().enumerate() {
+            self.send_bf16("all_to_all", peer, part)?;
+        }
+        (0..self.world())
+            .map(|peer| self.recv("all_to_all", peer))
+            .collect()
+    }
+
     /// All-gather: every rank contributes one buffer and receives all
     /// buffers in rank order.
     ///
@@ -316,6 +341,22 @@ impl AllToAllLayout {
     /// Returns a shape error when `x` or the group does not match the
     /// layout, or a communication error if the group is unhealthy.
     pub fn apply(&self, comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+        self.apply_with(comm, x, false)
+    }
+
+    /// Runs the all-to-all with bf16 wire payloads (identical geometry and
+    /// byte ordering to [`AllToAllLayout::apply`], half the wire traffic;
+    /// values round through bf16 once). Gated at the runtime layer by
+    /// `RuntimeOptions::payload_bf16` / `FPDT_BF16`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AllToAllLayout::apply`].
+    pub fn apply_bf16(&self, comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+        self.apply_with(comm, x, true)
+    }
+
+    fn apply_with(&self, comm: &Communicator, x: &Tensor, bf16: bool) -> A2aResult<Tensor> {
         if x.shape() != self.in_shape || comm.world() != self.world {
             return Err(Box::new(TensorError::InvalidSlice {
                 what: format!(
@@ -352,7 +393,11 @@ impl AllToAllLayout {
                 .map(<[f32]>::to_vec)
                 .collect(),
         };
-        let recv = comm.all_to_all(bufs)?;
+        let recv = if bf16 {
+            comm.all_to_all_bf16(bufs)?
+        } else {
+            comm.all_to_all(bufs)?
+        };
         // Unpack the rank-ordered pieces into the output layout.
         let mut out = Vec::with_capacity(self.part_elems * p);
         match self.dir {
@@ -569,6 +614,60 @@ mod tests {
             for (orig, back) in rank {
                 assert!(back.allclose(&orig, 1e-6, 1e-7));
             }
+        }
+    }
+
+    #[test]
+    fn bf16_all_to_all_matches_f32_and_halves_wire_bytes() {
+        let out = run_group(2, |comm| {
+            // bf16-representable values -> the round trip must be exact.
+            let parts: Vec<Vec<f32>> = (0..2)
+                .map(|dst| {
+                    (0..8)
+                        .map(|i| (comm.rank() * 16 + dst * 8 + i) as f32 * 0.5)
+                        .collect()
+                })
+                .collect();
+            let full = comm.all_to_all(parts.clone()).unwrap();
+            let f32_bytes = comm.stats().op("all_to_all").unwrap().bytes_sent;
+            let half = comm.all_to_all_bf16(parts).unwrap();
+            let total = comm.stats().op("all_to_all").unwrap().bytes_sent;
+            (full, half, f32_bytes, total - f32_bytes)
+        });
+        for (full, half, f32_bytes, bf16_bytes) in out {
+            assert_eq!(full, half, "representable values survive bf16 exactly");
+            assert_eq!(bf16_bytes * 2, f32_bytes, "bf16 wire bytes halve exactly");
+        }
+    }
+
+    #[test]
+    fn bf16_all_to_all_rejects_wrong_part_count() {
+        run_group(2, |comm| {
+            assert!(matches!(
+                comm.all_to_all_bf16(vec![vec![1.0]]),
+                Err(CommError::WrongPartCount { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn layout_apply_bf16_matches_f32_geometry() {
+        // Same data movement as apply(); values round through bf16 once
+        // (rel err <= 2^-8), and the counted traffic is exactly half.
+        let out = run_group(2, |comm| {
+            let fwd = AllToAllLayout::scatter_heads(&[2, 4, 3], comm.world()).unwrap();
+            let mut rng = init::seeded_rng(41 + comm.rank() as u64);
+            let x = init::randn(&mut rng, &[2, 4, 3], 1.0);
+            let full = fwd.apply(&comm, &x).unwrap();
+            let f32_bytes = comm.stats().op("all_to_all").unwrap().bytes_sent;
+            let half = fwd.apply_bf16(&comm, &x).unwrap();
+            let total = comm.stats().op("all_to_all").unwrap().bytes_sent;
+            (full, half, f32_bytes, total - f32_bytes)
+        });
+        for (full, half, f32_bytes, bf16_bytes) in out {
+            assert_eq!(half.shape(), full.shape());
+            assert!(half.allclose(&full, 1e-2, 1e-2), "one bf16 rounding");
+            assert_eq!(bf16_bytes * 2, f32_bytes, "halved traffic");
         }
     }
 

@@ -201,6 +201,11 @@ impl CommEngine {
         let run = move |comm: &Communicator| {
             let inflight = rec.map(|r| r.span("comm.inflight").bytes(bytes));
             let out = catch_unwind(AssertUnwindSafe(|| op(comm)));
+            // Simulated NIC occupancy (`FPDT_SIM_GBPS`, default off):
+            // holds the wire for time proportional to the payload bytes,
+            // inside the inflight span, on whichever thread executes —
+            // serial when sync, hidden behind compute when async.
+            fpdt_trace::wire::simulate(bytes);
             drop(inflight);
             // The lock can only be poisoned by a waiter dying mid-wait, in
             // which case nobody is left to read the slot — storing anyway

@@ -6,12 +6,39 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
+/// Wire representation of one payload: full-precision f32 or bf16-rounded
+/// halves (half the bytes). Receivers widen bf16 transparently, so the
+/// precision is purely the *sender's* choice per message.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    F32(Vec<f32>),
+    Bf16(Vec<u16>),
+}
+
+impl Payload {
+    /// Bytes this payload occupies on the wire (4 per f32, 2 per bf16).
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::Bf16(v) => (v.len() * 2) as u64,
+        }
+    }
+
+    /// Widens to f32 (exact for bf16; a move for f32).
+    pub(crate) fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            Payload::Bf16(v) => fpdt_tensor::bf16::decode_slice(&v),
+        }
+    }
+}
+
 /// A tagged point-to-point message. Tags catch SPMD order violations early
 /// instead of silently mixing payloads from different collectives.
 #[derive(Debug)]
 pub(crate) struct Message {
     pub op: &'static str,
-    pub data: Vec<f32>,
+    pub data: Payload,
 }
 
 /// Factory for a fixed-size communicator group.
@@ -112,11 +139,26 @@ impl Communicator {
     /// Returns [`CommError::RankOutOfRange`] or
     /// [`CommError::PeerDisconnected`].
     pub fn send(&self, op: &'static str, peer: usize, data: Vec<f32>) -> Result<()> {
+        self.send_payload(op, peer, Payload::F32(data))
+    }
+
+    /// Sends `data` to `peer` rounded to bf16 on the wire (half the bytes;
+    /// the receiver widens transparently). One RNE rounding per element —
+    /// the `FPDT_BF16` payload path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Communicator::send`].
+    pub fn send_bf16(&self, op: &'static str, peer: usize, data: &[f32]) -> Result<()> {
+        self.send_payload(op, peer, Payload::Bf16(fpdt_tensor::bf16::encode_slice(data)))
+    }
+
+    fn send_payload(&self, op: &'static str, peer: usize, data: Payload) -> Result<()> {
         let tx = self.senders.get(peer).ok_or(CommError::RankOutOfRange {
             rank: peer,
             world: self.world,
         })?;
-        self.stats.tally(op, Direction::Sent, data.len());
+        self.stats.tally(op, Direction::Sent, data.wire_bytes());
         tx.send(Message { op, data })
             .map_err(|_| CommError::PeerDisconnected { peer })
     }
@@ -138,14 +180,14 @@ impl Communicator {
             .recv()
             .map_err(|_| CommError::PeerDisconnected { peer })?;
         self.stats.waited(waited.elapsed());
-        self.stats.tally(op, Direction::Received, msg.data.len());
+        self.stats.tally(op, Direction::Received, msg.data.wire_bytes());
         if msg.op != op {
             return Err(CommError::Desync {
                 local_op: op,
                 remote_op: msg.op.to_string(),
             });
         }
-        Ok(msg.data)
+        Ok(msg.data.into_f32())
     }
 
     /// Blocks until every rank in the group has reached the barrier.

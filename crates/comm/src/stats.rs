@@ -31,7 +31,7 @@ pub struct OpStats {
     pub sends: u64,
     /// Messages drained from peers.
     pub recvs: u64,
-    /// Payload bytes sent (`f32` elements x 4).
+    /// Payload wire bytes sent (4 per f32 element, 2 per bf16 element).
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_recv: u64,
@@ -103,10 +103,11 @@ pub(crate) struct StatsCell {
 
 impl StatsCell {
     /// The single tally point. Every payload — any collective, either
-    /// direction — is accounted here, called from `send`/`recv` only, so
-    /// byte accounting cannot be bypassed by a new collective.
-    pub(crate) fn tally(&self, op: &str, dir: Direction, elems: usize) {
-        let bytes = (elems * std::mem::size_of::<f32>()) as u64;
+    /// direction, either wire precision — is accounted here with its true
+    /// wire bytes (`Payload::wire_bytes`), called from `send`/`recv` only,
+    /// so byte accounting cannot be bypassed by a new collective and bf16
+    /// payloads show up at exactly half the f32 footprint.
+    pub(crate) fn tally(&self, op: &str, dir: Direction, bytes: u64) {
         let mut ops = self.ops.lock().expect("stats table");
         if !ops.contains_key(op) {
             self.order.lock().expect("stats order").push(op.to_string());

@@ -27,6 +27,7 @@
 //! fetched one regardless of when the copy runs, so prefetch on/off (and
 //! any `FPDT_THREADS`) cannot change results *by construction*.
 
+use fpdt_tensor::bf16::Bf16Tensor;
 use fpdt_tensor::{par, Tensor};
 use fpdt_trace::Recorder;
 use std::collections::{HashMap, HashSet};
@@ -93,6 +94,68 @@ pub struct PoolStats {
     pub bytes_fetched: u64,
 }
 
+/// How one chunk is laid out in host memory: full-precision `f32` (the
+/// zero-copy default) or bf16 (half the bytes, one RNE rounding on
+/// offload, widened back to `f32` on fetch).
+///
+/// The variant is the pool's *wire format* — compute always sees `f32`
+/// via [`HostChunk::widen`]. Only KV chunks use bf16 (see
+/// [`HostPool::set_payload_bf16`]); everything else stays `f32` so
+/// gradients and saved activations keep full precision.
+#[derive(Debug, Clone)]
+pub enum HostChunk {
+    /// Full-precision chunk, `Arc`-shared with the device side.
+    F32(Arc<Tensor>),
+    /// bf16-rounded chunk (2 bytes/element on the simulated PCIe link).
+    Bf16(Arc<Bf16Tensor>),
+}
+
+impl HostChunk {
+    /// Bytes this chunk occupies in host memory (4 per f32 element, 2 per
+    /// bf16 element) — what every [`PoolStats`] byte counter tallies.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            HostChunk::F32(t) => (t.numel() * 4) as u64,
+            HostChunk::Bf16(t) => t.wire_bytes(),
+        }
+    }
+
+    /// Hands back the chunk as `f32` compute data: the pooled buffer
+    /// itself for `F32` (zero-copy), a widened copy for `Bf16`.
+    pub fn widen(&self) -> Arc<Tensor> {
+        match self {
+            HostChunk::F32(t) => Arc::clone(t),
+            HostChunk::Bf16(t) => {
+                Arc::new(t.to_f32().expect("bf16 chunk shape was valid on offload"))
+            }
+        }
+    }
+
+    /// The simulated PCIe transfer: a read pass over the chunk's *stored*
+    /// representation plus (when `FPDT_SIM_GBPS` is set) link occupancy
+    /// proportional to the wire bytes, so a bf16 chunk streams half the
+    /// bytes — and takes half the wall-clock — of its f32 twin.
+    fn touch(&self) {
+        match self {
+            HostChunk::F32(t) => {
+                let mut acc = 0.0f32;
+                for &x in t.data() {
+                    acc += x;
+                }
+                std::hint::black_box(acc);
+            }
+            HostChunk::Bf16(t) => {
+                let mut acc = 0u16;
+                for &x in t.data() {
+                    acc = acc.wrapping_add(x);
+                }
+                std::hint::black_box(acc);
+            }
+        }
+        fpdt_trace::wire::simulate(self.wire_bytes());
+    }
+}
+
 /// A per-rank host-memory pool. Chunks are `Arc`-shared: fetching hands
 /// back the pooled buffer itself, never a copy.
 ///
@@ -113,14 +176,30 @@ pub struct PoolStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct HostPool {
-    store: HashMap<ChunkKey, Arc<Tensor>>,
+    store: HashMap<ChunkKey, HostChunk>,
     stats: PoolStats,
+    payload_bf16: bool,
 }
 
 impl HostPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool (f32 payloads).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Switches the pool's wire format for *KV* chunks: when enabled,
+    /// `K`/`V` offloads are rounded to bf16 (halving their bytes in every
+    /// [`PoolStats`] counter) and widened back to f32 on fetch. All other
+    /// buffer kinds stay full-precision `Arc`-shared f32. Affects chunks
+    /// offloaded after the call; gated at the runtime layer by
+    /// `RuntimeOptions::payload_bf16` / `FPDT_BF16`.
+    pub fn set_payload_bf16(&mut self, on: bool) {
+        self.payload_bf16 = on;
+    }
+
+    /// Whether KV offloads are currently stored as bf16.
+    pub fn payload_bf16(&self) -> bool {
+        self.payload_bf16
     }
 
     /// Moves a tensor to host memory (device-to-host copy).
@@ -134,48 +213,68 @@ impl HostPool {
     }
 
     /// [`HostPool::offload`] for a chunk that is already `Arc`-shared with
-    /// the device side — the zero-copy path the executor uses.
+    /// the device side — the zero-copy path the executor uses. Returns the
+    /// chunk as stored (an `Arc` clone), so callers modeling the transfer
+    /// can stream the actual wire representation.
     ///
     /// # Panics
     ///
     /// Same double-offload condition as [`HostPool::offload`].
-    pub fn offload_shared(&mut self, key: ChunkKey, t: Arc<Tensor>) {
-        let b = bytes_of(&t);
+    pub fn offload_shared(&mut self, key: ChunkKey, t: Arc<Tensor>) -> HostChunk {
+        let chunk = if self.payload_bf16 && matches!(key.kind, BufKind::K | BufKind::V) {
+            HostChunk::Bf16(Arc::new(Bf16Tensor::from_f32(&t)))
+        } else {
+            HostChunk::F32(t)
+        };
+        let b = chunk.wire_bytes();
         self.stats.offloads += 1;
         self.stats.bytes += b;
         self.stats.bytes_offloaded += b;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
-        let prev = self.store.insert(key, t);
+        let prev = self.store.insert(key, chunk.clone());
         assert!(prev.is_none(), "chunk {key:?} offloaded twice");
+        chunk
     }
 
     /// Moves a tensor back to the device (host-to-device copy), removing
     /// it from the pool. Returns `None` when the key is not resident.
     pub fn fetch(&mut self, key: &ChunkKey) -> Option<Arc<Tensor>> {
-        let t = self.store.remove(key)?;
-        let b = bytes_of(&t);
+        self.fetch_chunk(key).map(|c| c.widen())
+    }
+
+    /// [`HostPool::fetch`] returning the stored wire representation
+    /// (counters update identically; widen with [`HostChunk::widen`]).
+    pub fn fetch_chunk(&mut self, key: &ChunkKey) -> Option<HostChunk> {
+        let c = self.store.remove(key)?;
+        let b = c.wire_bytes();
         self.stats.fetches += 1;
         self.stats.bytes -= b;
         self.stats.bytes_fetched += b;
-        Some(t)
+        Some(c)
     }
 
     /// Reads a chunk without evicting it (a fetch that keeps the host
     /// copy — what the forward does with KV chunks reused by later query
-    /// chunks). Hands back the pooled `Arc` itself: no data is copied.
+    /// chunks). For f32 chunks this hands back the pooled `Arc` itself:
+    /// no data is copied. bf16 chunks widen to a fresh f32 buffer.
     pub fn fetch_keep(&mut self, key: &ChunkKey) -> Option<Arc<Tensor>> {
-        let t = Arc::clone(self.store.get(key)?);
+        self.fetch_keep_chunk(key).map(|c| c.widen())
+    }
+
+    /// [`HostPool::fetch_keep`] returning the stored wire representation.
+    pub fn fetch_keep_chunk(&mut self, key: &ChunkKey) -> Option<HostChunk> {
+        let c = self.store.get(key)?.clone();
         self.stats.fetches += 1;
-        self.stats.bytes_fetched += bytes_of(&t);
-        Some(t)
+        self.stats.bytes_fetched += c.wire_bytes();
+        Some(c)
     }
 
     /// Drops a resident chunk without a host-to-device transfer (freeing
     /// host memory costs no PCIe traffic). Returns whether it was present.
     pub fn discard(&mut self, key: &ChunkKey) -> bool {
         match self.store.remove(key) {
-            Some(t) => {
-                self.stats.bytes -= bytes_of(&t);
+            Some(c) => {
+                self.stats.bytes -= c.wire_bytes();
                 true
             }
             None => false,
@@ -208,22 +307,6 @@ impl HostPool {
         self.store.clear();
         self.stats.bytes = 0;
     }
-}
-
-fn bytes_of(t: &Tensor) -> u64 {
-    (t.numel() * std::mem::size_of::<f32>()) as u64
-}
-
-/// Simulated PCIe transfer: a bandwidth-bound read pass over the chunk.
-/// Residency itself is zero-copy (`Arc`-shared), so this pass is what
-/// gives a transfer measurable wall-clock cost — on the rank's thread for
-/// synchronous transfers, on a pool worker for asynchronous ones.
-fn touch(t: &Tensor) {
-    let mut acc = 0.0f32;
-    for &x in t.data() {
-        acc += x;
-    }
-    std::hint::black_box(acc);
 }
 
 /// Completion state of one asynchronous copy.
@@ -344,6 +427,13 @@ impl OffloadEngine {
         }
     }
 
+    /// Switches the pool to bf16 KV payloads (see
+    /// [`HostPool::set_payload_bf16`]). The modeled transfer passes then
+    /// stream the stored bf16 representation — half the bytes.
+    pub fn set_payload_bf16(&mut self, on: bool) {
+        self.pool.set_payload_bf16(on);
+    }
+
     /// Attaches a span recorder: every transfer records `offload.put` /
     /// `offload.fetch` / `offload.prefetch` spans with actual byte counts,
     /// and waits record `offload.wait`.
@@ -380,37 +470,37 @@ impl OffloadEngine {
     ///
     /// Same double-offload condition as [`HostPool::offload`].
     pub fn put(&mut self, key: ChunkKey, t: Arc<Tensor>) {
-        let bytes = bytes_of(&t);
-        self.pool.offload_shared(key, Arc::clone(&t));
+        let chunk = self.pool.offload_shared(key, t);
+        let bytes = chunk.wire_bytes();
         if self.prefetch {
             let rec = self.recorder.clone();
             self.submit(move || {
                 let _s = rec.as_ref().map(|r| r.span("offload.put").bytes(bytes));
-                touch(&t);
+                chunk.touch();
             });
         } else {
             let _s = self
                 .recorder
                 .as_ref()
                 .map(|r| r.span("offload.put").bytes(bytes));
-            touch(&t);
+            chunk.touch();
         }
     }
 
     /// Synchronous host-to-device transfer: `consume` evicts the chunk,
     /// otherwise the host copy stays resident. `None` when not resident.
     pub fn fetch(&mut self, key: &ChunkKey, consume: bool) -> Option<Arc<Tensor>> {
-        let t = if consume {
-            self.pool.fetch(key)
+        let chunk = if consume {
+            self.pool.fetch_chunk(key)
         } else {
-            self.pool.fetch_keep(key)
+            self.pool.fetch_keep_chunk(key)
         }?;
         let _s = self
             .recorder
             .as_ref()
-            .map(|r| r.span("offload.fetch").bytes(bytes_of(&t)));
-        touch(&t);
-        Some(t)
+            .map(|r| r.span("offload.fetch").bytes(chunk.wire_bytes()));
+        chunk.touch();
+        Some(chunk.widen())
     }
 
     /// Issues an asynchronous host-to-device transfer and returns a
@@ -435,24 +525,26 @@ impl OffloadEngine {
                 .insert(*key),
             "chunk {key:?} prefetched twice without a wait"
         );
-        let t = if consume {
-            self.pool.fetch(key)
+        let chunk = if consume {
+            self.pool.fetch_chunk(key)
         } else {
-            self.pool.fetch_keep(key)
+            self.pool.fetch_keep_chunk(key)
         };
-        let Some(t) = t else {
+        let Some(chunk) = chunk else {
             self.pending.lock().expect("pending prefetch set").remove(key);
             return None;
         };
-        let bytes = bytes_of(&t);
+        let bytes = chunk.wire_bytes();
         let rec = self.recorder.clone();
-        let data = Arc::clone(&t);
+        // Widen on the issuing rank's thread (deterministic program order);
+        // the stream only runs the costed pass over the wire repr.
+        let data = chunk.widen();
         let done = self.submit(move || {
             let _s = rec.as_ref().map(|r| r.span("offload.prefetch").bytes(bytes));
-            touch(&data);
+            chunk.touch();
         });
         Some(FetchHandle {
-            data: t,
+            data,
             done,
             key: *key,
             pending: Some(Arc::clone(&self.pending)),
@@ -577,6 +669,57 @@ mod tests {
     }
 
     #[test]
+    fn bf16_kv_traffic_halves_exactly() {
+        // KV-only fixture: every byte counter must be exactly half of the
+        // f32 run's, with identical transfer counts.
+        let run = |bf16: bool| {
+            let mut pool = HostPool::new();
+            pool.set_payload_bf16(bf16);
+            pool.offload(ChunkKey::new(0, BufKind::K, 0), Tensor::ones(&[16]));
+            pool.offload(ChunkKey::new(0, BufKind::V, 0), Tensor::ones(&[16]));
+            pool.fetch(&ChunkKey::new(0, BufKind::K, 0)).unwrap();
+            pool.fetch_keep(&ChunkKey::new(0, BufKind::V, 0)).unwrap();
+            pool.stats()
+        };
+        let (full, half) = (run(false), run(true));
+        assert_eq!(full.offloads, half.offloads);
+        assert_eq!(full.fetches, half.fetches);
+        assert_eq!(full.bytes_offloaded, 2 * half.bytes_offloaded);
+        assert_eq!(full.bytes_fetched, 2 * half.bytes_fetched);
+        assert_eq!(full.peak_bytes, 2 * half.peak_bytes);
+        assert_eq!(full.bytes, 2 * half.bytes);
+    }
+
+    #[test]
+    fn bf16_mode_leaves_non_kv_chunks_zero_copy() {
+        let mut pool = HostPool::new();
+        pool.set_payload_bf16(true);
+        assert!(pool.payload_bf16());
+        let key = ChunkKey::new(0, BufKind::O, 0);
+        let t = Arc::new(Tensor::ones(&[8]));
+        pool.offload_shared(key, Arc::clone(&t));
+        let got = pool.fetch_keep(&key).unwrap();
+        assert!(Arc::ptr_eq(&got, &t), "non-KV kinds stay f32 zero-copy");
+        assert_eq!(pool.stats().bytes, 32, "full f32 bytes for non-KV");
+    }
+
+    #[test]
+    fn bf16_kv_values_round_once_through_bf16() {
+        use fpdt_tensor::bf16::{bf16_to_f32, f32_to_bf16};
+        let mut pool = HostPool::new();
+        pool.set_payload_bf16(true);
+        let key = ChunkKey::new(0, BufKind::K, 0);
+        let vals: Vec<f32> = (0..7).map(|i| 0.1 + i as f32 * 0.013).collect();
+        pool.offload(key, Tensor::from_vec(vals.clone(), &[7]).unwrap());
+        assert_eq!(pool.stats().bytes, 14, "2 bytes per element");
+        let back = pool.fetch(&key).unwrap();
+        assert_eq!(back.shape(), &[7]);
+        for (got, &x) in back.data().iter().zip(&vals) {
+            assert_eq!(*got, bf16_to_f32(f32_to_bf16(x)), "exactly one RNE rounding");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "offloaded twice")]
     fn double_offload_is_a_bug() {
         let mut pool = HostPool::new();
@@ -672,6 +815,34 @@ mod tests {
             eng.stats()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn bf16_engine_sync_async_stats_match() {
+        // bf16 transfers keep the sync/async stats-parity guarantee, and
+        // the engine's modeled pass streams the stored (half-size) repr.
+        let run = |prefetch: bool| {
+            let _t = ForcedThreads::new(8);
+            let mut eng = OffloadEngine::new(prefetch);
+            eng.set_payload_bf16(true);
+            for i in 0..4usize {
+                eng.put(ChunkKey::new(0, BufKind::K, i), Arc::new(Tensor::ones(&[16])));
+            }
+            for i in 0..4usize {
+                let key = ChunkKey::new(0, BufKind::K, i);
+                if prefetch {
+                    eng.prefetch(&key, true).expect("resident").wait();
+                } else {
+                    eng.fetch(&key, true).expect("resident");
+                }
+            }
+            eng.drain();
+            eng.stats()
+        };
+        let stats = run(false);
+        assert_eq!(stats, run(true));
+        assert_eq!(stats.bytes_offloaded, 4 * 16 * 2, "bf16 wire bytes");
+        assert_eq!(stats.bytes_fetched, 4 * 16 * 2);
     }
 
     #[test]

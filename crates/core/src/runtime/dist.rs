@@ -336,6 +336,17 @@ pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainRepo
     }
 }
 
+/// Test fixture: [`TrainConfig::small`] with f32 payloads pinned. The
+/// cross-mode loss comparisons below assume f32 wires at their tight
+/// tolerances, so an ambient `FPDT_BF16=1` (the CI bf16 leg) must not
+/// leak into them; bf16 numerics get their own dedicated tolerance test.
+#[cfg(test)]
+fn small_f32(mode: Mode) -> TrainConfig {
+    let mut cfg = TrainConfig::small(mode);
+    cfg.runtime = cfg.runtime.with_payload_bf16(false);
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,7 +381,7 @@ mod tests {
         // loss curves up to float reassociation.
         let base = TrainConfig {
             steps: 8,
-            ..TrainConfig::small(Mode::Single)
+            ..small_f32(Mode::Single)
         };
         let single = train(&base);
         let ulysses = train(&TrainConfig {
@@ -469,6 +480,52 @@ mod tests {
     }
 
     #[test]
+    fn bf16_payload_training_stays_close_with_identical_schedule() {
+        // The FPDT_BF16 contract at the training level: same schedule
+        // (transfer and message counts; all-to-all bytes exactly halved),
+        // losses within bf16 rounding tolerance of the f32 run.
+        let base = TrainConfig {
+            steps: 6,
+            mode: Mode::Fpdt {
+                chunks: 4,
+                offload: true,
+            },
+            ..small_f32(Mode::Single)
+        };
+        let full = train(&base);
+        let mut bf_cfg = base.clone();
+        bf_cfg.runtime = bf_cfg.runtime.with_payload_bf16(true);
+        let half = train(&bf_cfg);
+        assert!(
+            close(&full.losses, &half.losses, 5e-2),
+            "bf16 drift: {:?} vs {:?}",
+            full.losses,
+            half.losses
+        );
+        assert!(
+            half.losses.last().unwrap() < &half.losses[0],
+            "still learns under bf16: {:?}",
+            half.losses
+        );
+        // Schedule shape is invariant.
+        assert_eq!(full.host.offloads, half.host.offloads, "offload count");
+        assert_eq!(full.host.fetches, half.host.fetches, "fetch count");
+        assert!(
+            half.host.bytes_offloaded < full.host.bytes_offloaded,
+            "KV offload bytes shrink"
+        );
+        let af = full.comm.op("all_to_all").expect("f32 a2a");
+        let ab = half.comm.op("all_to_all").expect("bf16 a2a");
+        assert_eq!(af.sends, ab.sends, "same a2a message count");
+        assert_eq!(af.recvs, ab.recvs);
+        assert_eq!(ab.bytes_sent * 2, af.bytes_sent, "bytes_a2a halve exactly");
+        // The gradient all-reduce stays full precision.
+        let gf = full.comm.op("all_gather").expect("grad reduce");
+        let gb = half.comm.op("all_gather").expect("grad reduce");
+        assert_eq!(gf.bytes_sent, gb.bytes_sent, "all-reduce stays f32");
+    }
+
+    #[test]
     #[should_panic(expected = "sequence must divide")]
     fn bad_chunking_panics() {
         let cfg = TrainConfig {
@@ -499,7 +556,7 @@ mod llama_tests {
             lr: 3e-3,
             seed: 7,
             mode: Mode::Single,
-            ..TrainConfig::default()
+            ..small_f32(Mode::Single)
         };
         let single = train(&base);
         assert!(
@@ -642,7 +699,7 @@ mod ac_tests {
         // chunks back through the host pool a second time.
         let base = TrainConfig {
             steps: 6,
-            ..TrainConfig::small(Mode::Single)
+            ..small_f32(Mode::Single)
         };
         let plain = train(&base);
         for mode in [
@@ -702,7 +759,7 @@ mod accum_tests {
         let base = TrainConfig {
             steps: 8,
             grad_accum: 2,
-            ..TrainConfig::default()
+            ..small_f32(Mode::Single)
         };
         let single = train(&base);
         assert_eq!(single.losses.len(), 4, "one record per optimizer step");
@@ -741,7 +798,7 @@ mod warmup_tests {
         let base = TrainConfig {
             steps: 10,
             warmup_steps: 5,
-            ..TrainConfig::default()
+            ..small_f32(Mode::Single)
         };
         let plain = train(&TrainConfig {
             warmup_steps: 0,

@@ -217,12 +217,14 @@ impl DistAttention {
         opts: impl Into<RuntimeOptions>,
     ) -> Self {
         let opts = opts.into();
+        let mut host = OffloadEngine::new(opts.offload && opts.prefetch);
+        host.set_payload_bf16(opts.payload_bf16);
         DistAttention {
             engine: CommEngine::new(Arc::clone(&comm), opts.comm_async),
             comm,
             plan,
             opts,
-            host: OffloadEngine::new(opts.offload && opts.prefetch),
+            host,
             device: HashMap::new(),
             recorder: None,
             fwd_layouts: HashMap::new(),
@@ -252,10 +254,19 @@ impl DistAttention {
         self.engine.posted()
     }
 
+    /// Bytes one element occupies on the wire under the current payload
+    /// format (2 with `payload_bf16`, else 4).
+    fn wire_elem_bytes(&self) -> usize {
+        if self.opts.payload_bf16 {
+            2
+        } else {
+            4
+        }
+    }
+
     fn span(&self, label: &str, elems: usize) -> Option<Span> {
-        self.recorder
-            .as_ref()
-            .map(|r| r.span(label).bytes((elems * 4) as u64))
+        let bytes = (elems * self.wire_elem_bytes()) as u64;
+        self.recorder.as_ref().map(|r| r.span(label).bytes(bytes))
     }
 
     fn put(&mut self, key: ChunkKey, t: Arc<Tensor>) {
@@ -358,11 +369,20 @@ impl DistAttention {
         let lq = self.fwd_layout(qc.shape())?;
         let lkv = self.fwd_layout(kc.shape())?;
         let elems = qc.data().len() + kc.data().len() + vc.data().len();
+        let bytes = (elems * self.wire_elem_bytes()) as u64;
+        let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.scatter_heads", elems);
-        Ok(self.engine.post((elems * 4) as u64, move |comm| {
-            let qh = lq.apply(comm, &qc)?;
-            let kh = lkv.apply(comm, &kc)?;
-            let vh = lkv.apply(comm, &vc)?;
+        Ok(self.engine.post(bytes, move |comm| {
+            let apply = |l: &AllToAllLayout, t: &Tensor| {
+                if bf16 {
+                    l.apply_bf16(comm, t)
+                } else {
+                    l.apply(comm, t)
+                }
+            };
+            let qh = apply(&lq, &qc)?;
+            let kh = apply(&lkv, &kc)?;
+            let vh = apply(&lkv, &vc)?;
             Ok((qh, kh, vh))
         }))
     }
@@ -372,10 +392,16 @@ impl DistAttention {
     fn post_fwd(&mut self, t: Tensor) -> ExecResult<PendingTensor> {
         let layout = self.fwd_layout(t.shape())?;
         let elems = t.data().len();
+        let bytes = (elems * self.wire_elem_bytes()) as u64;
+        let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.scatter_heads", elems);
-        Ok(self
-            .engine
-            .post((elems * 4) as u64, move |comm| layout.apply(comm, &t)))
+        Ok(self.engine.post(bytes, move |comm| {
+            if bf16 {
+                layout.apply_bf16(comm, &t)
+            } else {
+                layout.apply(comm, &t)
+            }
+        }))
     }
 
     /// Posts the inverse all-to-all shipping an output or gradient chunk
@@ -383,10 +409,16 @@ impl DistAttention {
     fn post_inv(&mut self, t: Arc<Tensor>) -> ExecResult<PendingTensor> {
         let layout = self.inv_layout(t.shape())?;
         let elems = t.data().len();
+        let bytes = (elems * self.wire_elem_bytes()) as u64;
+        let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.gather_heads", elems);
-        Ok(self
-            .engine
-            .post((elems * 4) as u64, move |comm| layout.apply(comm, &t)))
+        Ok(self.engine.post(bytes, move |comm| {
+            if bf16 {
+                layout.apply_bf16(comm, &t)
+            } else {
+                layout.apply(comm, &t)
+            }
+        }))
     }
 }
 
@@ -831,7 +863,13 @@ mod tests {
             let rank = comm.rank();
             let plan = ChunkPlan::new(s, world, chunks).unwrap();
             let pos = plan.local_positions(rank);
-            let mut ex = DistAttention::new(comm, plan, offload);
+            // Pin f32 payloads: this fixture compares against an f32
+            // reference at tight tolerances, so an ambient FPDT_BF16=1
+            // must not leak in.
+            let opts = RuntimeOptions::from_env()
+                .with_offload(offload)
+                .with_payload_bf16(false);
+            let mut ex = DistAttention::with_opts(comm, plan, opts);
             let o = ex
                 .forward(
                     0,
@@ -958,6 +996,63 @@ mod tests {
                 "backward fetches (KV exactly once per outer iteration)"
             );
             assert!(after_bwd.bytes_fetched > 0 && after_bwd.bytes_offloaded > 0);
+        }
+    }
+
+    #[test]
+    fn bf16_payloads_halve_a2a_bytes_and_keep_schedule() {
+        // FPDT_BF16 changes the wire format, nothing else: identical
+        // transfer/message counts, exactly half the all-to-all bytes, and
+        // results within bf16 rounding of the f32 run.
+        let (s, h, d) = (16, 2, 4);
+        let (q, k, v) = rand_qkv(21, s, h, d);
+        let mut rng = init::seeded_rng(22);
+        let dout = init::randn(&mut rng, &[s / 2, h, d], 1.0);
+        let run = |bf16: bool| {
+            run_group(2, |comm| {
+                let comm = Arc::new(comm);
+                let plan = ChunkPlan::new(s, 2, 4).unwrap();
+                let pos = plan.local_positions(comm.rank());
+                let shard = |t: &Tensor| {
+                    let parts: Vec<Tensor> =
+                        pos.iter().map(|&p| t.narrow(0, p, 1).unwrap()).collect();
+                    let refs: Vec<&Tensor> = parts.iter().collect();
+                    Tensor::concat(&refs, 0).unwrap()
+                };
+                let opts = RuntimeOptions::from_env()
+                    .with_offload(true)
+                    .with_payload_bf16(bf16);
+                let mut ex = DistAttention::with_opts(Arc::clone(&comm), plan, opts);
+                let o = ex
+                    .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
+                    .unwrap();
+                let (dq, _dk, _dv) = ex.backward(0, &dout).unwrap();
+                let host = ex.host_stats();
+                drop(ex);
+                (o, dq, host, comm.stats())
+            })
+        };
+        let full = run(false);
+        let half = run(true);
+        for ((o_f, dq_f, host_f, comm_f), (o_b, dq_b, host_b, comm_b)) in
+            full.into_iter().zip(half)
+        {
+            // Numerics: bf16 rounding only, not a different schedule.
+            assert!(o_b.allclose(&o_f, 5e-2, 5e-2), "output within bf16 tol");
+            assert!(dq_b.allclose(&dq_f, 1e-1, 1e-1), "dq within bf16 tol");
+            // Schedule shape: same transfer and message counts.
+            assert_eq!(host_f.offloads, host_b.offloads, "offload count");
+            assert_eq!(host_f.fetches, host_b.fetches, "fetch count");
+            assert!(
+                host_b.bytes_offloaded < host_f.bytes_offloaded,
+                "KV offload traffic shrinks"
+            );
+            let af = comm_f.op("all_to_all").expect("f32 a2a ran");
+            let ab = comm_b.op("all_to_all").expect("bf16 a2a ran");
+            assert_eq!(af.sends, ab.sends, "same message count");
+            assert_eq!(af.recvs, ab.recvs);
+            assert_eq!(ab.bytes_sent * 2, af.bytes_sent, "bytes_a2a halve exactly");
+            assert_eq!(ab.bytes_recv * 2, af.bytes_recv);
         }
     }
 

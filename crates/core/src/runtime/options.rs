@@ -8,9 +8,13 @@
 //! builder with one documented [`RuntimeOptions::from_env`], so "what is
 //! this run actually configured to do?" has a single answer.
 //!
-//! Every knob is a *pure system* toggle: losses, gradients, and
-//! communication statistics are bitwise identical across all settings.
-//! The flags only move work between threads and streams.
+//! Every knob except `payload_bf16` is a *pure system* toggle: losses,
+//! gradients, and communication statistics are bitwise identical across
+//! all settings — the flags only move work between threads and streams.
+//! `payload_bf16` is the one numerics-affecting knob: offloaded KV and
+//! all-to-all payloads round through bf16 (half the wire bytes; compute
+//! stays f32), so results match the f32 run only to bf16 tolerance while
+//! the *schedule* (transfer/message counts, chunk order) stays identical.
 //!
 //! ## Environment variables
 //!
@@ -18,6 +22,7 @@
 //! |----------------------|----------------------------------------------|---------|
 //! | `FPDT_PREFETCH`      | offload copy stream (`0`/`false`/`off` = no) | on      |
 //! | `FPDT_COMM_ASYNC`    | all-to-all comm stream (same syntax)         | on      |
+//! | `FPDT_BF16`          | bf16 offload/all-to-all payloads (same)      | off     |
 //! | `FPDT_THREADS`       | kernel pool thread budget                    | num CPUs|
 //! | `FPDT_PAR_THRESHOLD` | min elements before kernels split            | 4096    |
 
@@ -62,6 +67,10 @@ pub struct RuntimeOptions {
     /// stream, so chunk `i+1`'s wire time hides behind chunk `i`'s
     /// compute. `FPDT_COMM_ASYNC`.
     pub comm_async: bool,
+    /// Move HostPool-offloaded KV chunks and all-to-all payloads as bf16
+    /// (half the wire bytes; compute stays f32). `FPDT_BF16`. The one
+    /// knob that affects numerics — see the module docs.
+    pub payload_bf16: bool,
     /// Kernel pool thread budget override (`None` = leave the pool at its
     /// `FPDT_THREADS`-derived setting).
     pub threads: Option<usize>,
@@ -81,6 +90,7 @@ impl RuntimeOptions {
             offload: false,
             prefetch: env_flag("FPDT_PREFETCH", true),
             comm_async: env_flag("FPDT_COMM_ASYNC", true),
+            payload_bf16: env_flag("FPDT_BF16", false),
             threads: env_usize("FPDT_THREADS"),
             par_threshold: env_usize("FPDT_PAR_THRESHOLD"),
         }
@@ -104,6 +114,13 @@ impl RuntimeOptions {
     #[must_use]
     pub fn with_comm_async(mut self, comm_async: bool) -> Self {
         self.comm_async = comm_async;
+        self
+    }
+
+    /// Sets bf16 offload/all-to-all payloads on or off.
+    #[must_use]
+    pub fn with_payload_bf16(mut self, payload_bf16: bool) -> Self {
+        self.payload_bf16 = payload_bf16;
         self
     }
 
@@ -175,9 +192,11 @@ mod tests {
             .with_offload(true)
             .with_prefetch(false)
             .with_comm_async(false)
+            .with_payload_bf16(true)
             .with_threads(3)
             .with_par_threshold(1);
         assert!(opts.offload && !opts.prefetch && !opts.comm_async);
+        assert!(opts.payload_bf16);
         assert_eq!(opts.threads, Some(3));
         assert_eq!(opts.par_threshold, Some(1));
 

@@ -126,6 +126,27 @@ fn schedules_match_golden_digests() {
 }
 
 #[test]
+fn payload_bf16_env_never_changes_schedule_digests() {
+    // FPDT_BF16 halves wire bytes on the *runtime* path only; the
+    // planner's schedule shape (task emission order, dependency
+    // structure, stream routing, cost model) must be completely
+    // independent of the payload format. Any future change that threads
+    // payload width into task emission trips this digest comparison.
+    let all_digests = || -> Vec<(String, u64)> {
+        corners()
+            .into_iter()
+            .map(|(key, opts)| (key, fnv1a(&canonical(&run_corner(opts)))))
+            .collect()
+    };
+    std::env::remove_var("FPDT_BF16");
+    let off = all_digests();
+    std::env::set_var("FPDT_BF16", "1");
+    let on = all_digests();
+    std::env::remove_var("FPDT_BF16");
+    assert_eq!(off, on, "schedule digests must be payload-format invariant");
+}
+
+#[test]
 fn kv_outer_issues_u_kv_fetches_q_outer_quadratically_many() {
     let u = CHUNKS;
     let paper = PipelineOpts {

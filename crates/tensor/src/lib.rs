@@ -39,7 +39,9 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod bf16;
 pub mod init;
+pub mod mk;
 pub mod nn;
 pub mod ops;
 pub mod par;

@@ -1,0 +1,797 @@
+//! Runtime-dispatched SIMD microkernels (AVX2/FMA with a portable scalar
+//! fallback) shared by the gemm panels in [`crate::ops`] and the
+//! online-softmax kernels in `fpdt-attention`.
+//!
+//! Every kernel is written **once**, generically over the 8-lane vector
+//! trait `V8`, and instantiated twice: for [`Backend::Scalar`] the lanes
+//! are a plain `[f32; 8]` whose fused multiply-adds go through
+//! [`f32::mul_add`], and for [`Backend::Avx2`] they are a `__m256` inside
+//! a `#[target_feature(enable = "avx2,fma")]` wrapper. Both instantiations
+//! therefore execute the *identical* blocking, remainder handling, and
+//! reduction tree, and `f32::mul_add` is IEEE-754 fusedMultiplyAdd exactly
+//! like `vfmadd`, so the two backends are **bitwise identical** by
+//! construction — the property the kernel-equivalence suite locks down.
+//!
+//! Dispatch order:
+//!
+//! 1. a process-wide override installed with [`set_backend`] (tests and
+//!    benches force one path with this),
+//! 2. the `FPDT_SIMD` environment variable (`0`/`off`/`scalar` forces the
+//!    fallback; anything else means auto),
+//! 3. CPU detection (`avx2` + `fma`), cached after the first query.
+//!
+//! Compiling with the `scalar-only` cargo feature removes the AVX2 path
+//! entirely (fallback-parity builds); [`avx2_available`] then reports
+//! `false` and every dispatch lands on the scalar kernels.
+//!
+//! Because the backends are bitwise identical, the choice is a pure
+//! performance knob: it can never change a loss, a gradient, or a golden
+//! digest.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which microkernel instantiation executes the vectorizable inner loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable `[f32; 8]` lanes using `f32::mul_add` (always available).
+    Scalar,
+    /// AVX2 + FMA `__m256` lanes (x86-64 with runtime CPU support).
+    Avx2,
+}
+
+/// Whether the AVX2/FMA instantiation can run on this build and CPU.
+pub fn avx2_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+    {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+    {
+        false
+    }
+}
+
+/// 0 = no override (env/CPU dispatch), 1 = forced scalar, 2 = forced AVX2.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Installs (or with `None`, clears) a process-wide backend override and
+/// returns the previous override. Equivalence tests and the kernels bench
+/// pin each path with this; a forced [`Backend::Avx2`] silently degrades
+/// to scalar when [`avx2_available`] is `false`.
+pub fn set_backend(b: Option<Backend>) -> Option<Backend> {
+    let code = match b {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Avx2) => 2,
+    };
+    match OVERRIDE.swap(code, Ordering::Relaxed) {
+        1 => Some(Backend::Scalar),
+        2 => Some(Backend::Avx2),
+        _ => None,
+    }
+}
+
+fn default_backend() -> Backend {
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let forced_off = std::env::var("FPDT_SIMD")
+            .map(|v| matches!(v.trim(), "0" | "off" | "false" | "scalar"))
+            .unwrap_or(false);
+        if !forced_off && avx2_available() {
+            Backend::Avx2
+        } else {
+            Backend::Scalar
+        }
+    })
+}
+
+/// The backend the dispatched kernels will use right now.
+pub fn backend() -> Backend {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 => {
+            if avx2_available() {
+                Backend::Avx2
+            } else {
+                Backend::Scalar
+            }
+        }
+        _ => default_backend(),
+    }
+}
+
+/// 8-lane f32 vector: the single abstraction both backends implement.
+/// Methods are `unsafe` because `loadu`/`storeu` take raw pointers; every
+/// implementation must be a pure lane-wise IEEE-754 operation so that the
+/// two instantiations stay bitwise identical.
+trait V8: Copy {
+    unsafe fn zero() -> Self;
+    unsafe fn splat(x: f32) -> Self;
+    unsafe fn loadu(p: *const f32) -> Self;
+    unsafe fn storeu(self, p: *mut f32);
+    /// `self + a * b`, fused (single rounding) per lane.
+    unsafe fn fma(self, a: Self, b: Self) -> Self;
+    unsafe fn mul(self, o: Self) -> Self;
+    unsafe fn add(self, o: Self) -> Self;
+    unsafe fn div(self, o: Self) -> Self;
+    /// Horizontal sum with the fixed tree
+    /// `((x0+x4)+(x2+x6)) + ((x1+x5)+(x3+x7))` — the lane pairing the
+    /// AVX2 `extractf128`/`movehl`/`shuffle` sequence produces.
+    unsafe fn reduce(self) -> f32;
+}
+
+#[derive(Clone, Copy)]
+struct Sc([f32; 8]);
+
+impl V8 for Sc {
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        Sc([0.0; 8])
+    }
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self {
+        Sc([x; 8])
+    }
+    #[inline(always)]
+    unsafe fn loadu(p: *const f32) -> Self {
+        let mut v = [0.0f32; 8];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = *p.add(i);
+        }
+        Sc(v)
+    }
+    #[inline(always)]
+    unsafe fn storeu(self, p: *mut f32) {
+        for (i, lane) in self.0.iter().enumerate() {
+            *p.add(i) = *lane;
+        }
+    }
+    #[inline(always)]
+    unsafe fn fma(self, a: Self, b: Self) -> Self {
+        let mut v = [0.0f32; 8];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = a.0[i].mul_add(b.0[i], self.0[i]);
+        }
+        Sc(v)
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        let mut v = [0.0f32; 8];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = self.0[i] * o.0[i];
+        }
+        Sc(v)
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        let mut v = [0.0f32; 8];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = self.0[i] + o.0[i];
+        }
+        Sc(v)
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        let mut v = [0.0f32; 8];
+        for (i, lane) in v.iter_mut().enumerate() {
+            *lane = self.0[i] / o.0[i];
+        }
+        Sc(v)
+    }
+    #[inline(always)]
+    unsafe fn reduce(self) -> f32 {
+        let x = self.0;
+        // lo + hi halves, then the movehl pairing, then the final shuffle.
+        let w = [x[0] + x[4], x[1] + x[5], x[2] + x[6], x[3] + x[7]];
+        let u = [w[0] + w[2], w[1] + w[3]];
+        u[0] + u[1]
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+mod avx {
+    use super::V8;
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub(super) struct Vx(__m256);
+
+    impl V8 for Vx {
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Vx(_mm256_setzero_ps())
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            Vx(_mm256_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn loadu(p: *const f32) -> Self {
+            Vx(_mm256_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn storeu(self, p: *mut f32) {
+            _mm256_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn fma(self, a: Self, b: Self) -> Self {
+            Vx(_mm256_fmadd_ps(a.0, b.0, self.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            Vx(_mm256_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            Vx(_mm256_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            Vx(_mm256_div_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn reduce(self) -> f32 {
+            let lo = _mm256_castps256_ps128(self.0);
+            let hi = _mm256_extractf128_ps(self.0, 1);
+            let w = _mm_add_ps(lo, hi);
+            let u = _mm_add_ps(w, _mm_movehl_ps(w, w));
+            let s = _mm_add_ss(u, _mm_shuffle_ps(u, u, 0b01));
+            _mm_cvtss_f32(s)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic kernel bodies (written once, instantiated per backend).
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+unsafe fn dot_g<V: V8>(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = V::zero();
+    let mut acc1 = V::zero();
+    let mut acc2 = V::zero();
+    let mut acc3 = V::zero();
+    let mut i = 0;
+    while i + 32 <= n {
+        acc0 = acc0.fma(V::loadu(pa.add(i)), V::loadu(pb.add(i)));
+        acc1 = acc1.fma(V::loadu(pa.add(i + 8)), V::loadu(pb.add(i + 8)));
+        acc2 = acc2.fma(V::loadu(pa.add(i + 16)), V::loadu(pb.add(i + 16)));
+        acc3 = acc3.fma(V::loadu(pa.add(i + 24)), V::loadu(pb.add(i + 24)));
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = acc0.fma(V::loadu(pa.add(i)), V::loadu(pb.add(i)));
+        i += 8;
+    }
+    let mut s = acc0.add(acc1).add(acc2.add(acc3)).reduce();
+    while i < n {
+        s = (*pa.add(i)).mul_add(*pb.add(i), s);
+        i += 1;
+    }
+    s
+}
+
+#[inline(always)]
+unsafe fn axpy_g<V: V8>(dst: &mut [f32], s: f32, src: &[f32]) {
+    let n = dst.len().min(src.len());
+    let dp = dst.as_mut_ptr();
+    let sp = src.as_ptr();
+    let sv = V::splat(s);
+    let mut i = 0;
+    while i + 8 <= n {
+        V8::fma(V::loadu(dp.add(i) as *const f32), sv, V::loadu(sp.add(i))).storeu(dp.add(i));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) = s.mul_add(*sp.add(i), *dp.add(i));
+        i += 1;
+    }
+}
+
+#[inline(always)]
+unsafe fn scale_g<V: V8>(dst: &mut [f32], s: f32) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let sv = V::splat(s);
+    let mut i = 0;
+    while i + 8 <= n {
+        V::loadu(dp.add(i) as *const f32).mul(sv).storeu(dp.add(i));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) *= s;
+        i += 1;
+    }
+}
+
+#[inline(always)]
+unsafe fn dscale_g<V: V8>(dst: &mut [f32], d: f32) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let dv = V::splat(d);
+    let mut i = 0;
+    while i + 8 <= n {
+        V::loadu(dp.add(i) as *const f32).div(dv).storeu(dp.add(i));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) /= d;
+        i += 1;
+    }
+}
+
+/// One register-blocked gemm panel job: the geometry of a
+/// `C_block += A_rows · B_panel` accumulation over a `kc`-deep panel.
+///
+/// * row `r` of the block reads `a[a_off + r * a_stride ..][..kc]`,
+/// * depth `l` of the panel reads `bp[l * b_stride + b_col0 ..][..nc]`,
+/// * row `r` of the destination writes
+///   `c[r * c_stride + c_col0 ..][..nc]` (the slice handed to
+///   [`gemm_panel`]).
+///
+/// Both `gemm` (packed B scratch) and `gemm_tn` (strided rows of the
+/// original B) describe their inner loops with this one struct, so a
+/// single microkernel serves every layout.
+#[derive(Clone, Copy)]
+pub struct Panel<'a> {
+    /// Source matrix providing the block's A rows.
+    pub a: &'a [f32],
+    /// Offset of the block's first A row within `a`.
+    pub a_off: usize,
+    /// Stride between consecutive A rows.
+    pub a_stride: usize,
+    /// B panel (packed scratch or a view of the original matrix).
+    pub bp: &'a [f32],
+    /// Stride between consecutive depth rows of the panel.
+    pub b_stride: usize,
+    /// First panel column to read at each depth.
+    pub b_col0: usize,
+    /// Panel depth (number of `l` terms accumulated per element).
+    pub kc: usize,
+    /// Panel width (columns of C written).
+    pub nc: usize,
+    /// Rows of C in this block.
+    pub rows: usize,
+    /// Stride between consecutive C rows.
+    pub c_stride: usize,
+    /// First C column written in each row.
+    pub c_col0: usize,
+}
+
+impl Panel<'_> {
+    fn check(&self, c_len: usize) {
+        if self.rows == 0 || self.nc == 0 {
+            return;
+        }
+        assert!(self.a_off + (self.rows - 1) * self.a_stride + self.kc <= self.a.len());
+        if self.kc > 0 {
+            assert!((self.kc - 1) * self.b_stride + self.b_col0 + self.nc <= self.bp.len());
+        }
+        assert!((self.rows - 1) * self.c_stride + self.c_col0 + self.nc <= c_len);
+    }
+}
+
+/// `MR x (NV * 8)` register tile: load C, accumulate `kc` fused terms in
+/// ascending-`l` order, store back. The ascending-`l` per-element order is
+/// what keeps results independent of tile position and thread count.
+#[inline(always)]
+unsafe fn tile_g<V: V8, const MR: usize, const NV: usize>(
+    p: &Panel<'_>,
+    c: *mut f32,
+    r0: usize,
+    j0: usize,
+) {
+    let mut acc = [[V::zero(); NV]; MR];
+    for (ri, row) in acc.iter_mut().enumerate() {
+        let base = (r0 + ri) * p.c_stride + p.c_col0 + j0;
+        for (vi, v) in row.iter_mut().enumerate() {
+            *v = V::loadu(c.add(base + vi * 8) as *const f32);
+        }
+    }
+    let ap = p.a.as_ptr();
+    let bp = p.bp.as_ptr();
+    for l in 0..p.kc {
+        let brow = bp.add(l * p.b_stride + p.b_col0 + j0);
+        let mut bv = [V::zero(); NV];
+        for (vi, v) in bv.iter_mut().enumerate() {
+            *v = V::loadu(brow.add(vi * 8));
+        }
+        for (ri, row) in acc.iter_mut().enumerate() {
+            let av = V::splat(*ap.add(p.a_off + (r0 + ri) * p.a_stride + l));
+            for (vi, v) in row.iter_mut().enumerate() {
+                *v = v.fma(av, bv[vi]);
+            }
+        }
+    }
+    for (ri, row) in acc.iter().enumerate() {
+        let base = (r0 + ri) * p.c_stride + p.c_col0 + j0;
+        for (vi, v) in row.iter().enumerate() {
+            v.storeu(c.add(base + vi * 8));
+        }
+    }
+}
+
+/// Scalar column remainder (`nc % 8` trailing columns), shared verbatim by
+/// both backends: same `mul_add`, same ascending-`l` order.
+#[inline(always)]
+unsafe fn tail_cols(p: &Panel<'_>, c: *mut f32, r0: usize, mr: usize, j0: usize) {
+    for ri in 0..mr {
+        let a_base = p.a_off + (r0 + ri) * p.a_stride;
+        let c_base = (r0 + ri) * p.c_stride + p.c_col0;
+        for j in j0..p.nc {
+            let mut s = *c.add(c_base + j);
+            for l in 0..p.kc {
+                s = (*p.a.as_ptr().add(a_base + l))
+                    .mul_add(*p.bp.as_ptr().add(l * p.b_stride + p.b_col0 + j), s);
+            }
+            *c.add(c_base + j) = s;
+        }
+    }
+}
+
+#[inline(always)]
+unsafe fn gemm_panel_g<V: V8>(p: &Panel<'_>, c: &mut [f32]) {
+    let cp = c.as_mut_ptr();
+    let mut r = 0;
+    while r + 4 <= p.rows {
+        let mut j = 0;
+        while j + 16 <= p.nc {
+            tile_g::<V, 4, 2>(p, cp, r, j);
+            j += 16;
+        }
+        while j + 8 <= p.nc {
+            tile_g::<V, 4, 1>(p, cp, r, j);
+            j += 8;
+        }
+        tail_cols(p, cp, r, 4, j);
+        r += 4;
+    }
+    while r < p.rows {
+        let mut j = 0;
+        while j + 16 <= p.nc {
+            tile_g::<V, 1, 2>(p, cp, r, j);
+            j += 16;
+        }
+        while j + 8 <= p.nc {
+            tile_g::<V, 1, 1>(p, cp, r, j);
+            j += 8;
+        }
+        tail_cols(p, cp, r, 1, j);
+        r += 1;
+    }
+}
+
+/// `c_row[j] += a_row · b_row_j` for `nc` consecutive rows of a strided B
+/// (the `gemm_nt` inner product sweep), four B rows per register block so
+/// each `a_row` load is shared.
+#[inline(always)]
+unsafe fn dot_rows_g<V: V8>(
+    c_row: &mut [f32],
+    a_row: &[f32],
+    b: &[f32],
+    b_row0: usize,
+    b_stride: usize,
+    b_off: usize,
+    kc: usize,
+) {
+    let nc = c_row.len();
+    let ap = a_row.as_ptr();
+    let bp = b.as_ptr();
+    let mut j = 0;
+    while j + 4 <= nc {
+        let base = [
+            (b_row0 + j) * b_stride + b_off,
+            (b_row0 + j + 1) * b_stride + b_off,
+            (b_row0 + j + 2) * b_stride + b_off,
+            (b_row0 + j + 3) * b_stride + b_off,
+        ];
+        let mut acc = [V::zero(); 4];
+        let mut l = 0;
+        while l + 8 <= kc {
+            let av = V::loadu(ap.add(l));
+            for (t, a) in acc.iter_mut().enumerate() {
+                *a = a.fma(av, V::loadu(bp.add(base[t] + l)));
+            }
+            l += 8;
+        }
+        for (t, a) in acc.iter().enumerate() {
+            let mut s = a.reduce();
+            let mut ll = l;
+            while ll < kc {
+                s = (*ap.add(ll)).mul_add(*bp.add(base[t] + ll), s);
+                ll += 1;
+            }
+            c_row[j + t] += s;
+        }
+        j += 4;
+    }
+    while j < nc {
+        let base = (b_row0 + j) * b_stride + b_off;
+        let mut acc = V::zero();
+        let mut l = 0;
+        while l + 8 <= kc {
+            acc = acc.fma(V::loadu(ap.add(l)), V::loadu(bp.add(base + l)));
+            l += 8;
+        }
+        let mut s = acc.reduce();
+        while l < kc {
+            s = (*ap.add(l)).mul_add(*bp.add(base + l), s);
+            l += 1;
+        }
+        c_row[j] += s;
+        j += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend instantiations. The AVX2 wrappers carry
+// `#[target_feature(enable = "avx2,fma")]` so the whole inlined generic
+// body compiles to vector code; callers guard with `avx2_available()`.
+// ---------------------------------------------------------------------------
+
+macro_rules! instantiate {
+    ($scalar:ident, $avx2:ident, $generic:ident, ($($arg:ident: $ty:ty),*) -> $ret:ty) => {
+        fn $scalar($($arg: $ty),*) -> $ret {
+            unsafe { $generic::<Sc>($($arg),*) }
+        }
+        #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $avx2($($arg: $ty),*) -> $ret {
+            $generic::<avx::Vx>($($arg),*)
+        }
+    };
+}
+
+instantiate!(dot_scalar, dot_avx2, dot_g, (a: &[f32], b: &[f32]) -> f32);
+instantiate!(axpy_scalar, axpy_avx2, axpy_g, (dst: &mut [f32], s: f32, src: &[f32]) -> ());
+instantiate!(scale_scalar, scale_avx2, scale_g, (dst: &mut [f32], s: f32) -> ());
+instantiate!(dscale_scalar, dscale_avx2, dscale_g, (dst: &mut [f32], d: f32) -> ());
+instantiate!(gemm_panel_scalar, gemm_panel_avx2, gemm_panel_g,
+    (p: &Panel<'_>, c: &mut [f32]) -> ());
+instantiate!(dot_rows_scalar, dot_rows_avx2, dot_rows_g,
+    (c_row: &mut [f32], a_row: &[f32], b: &[f32], b_row0: usize, b_stride: usize,
+     b_off: usize, kc: usize) -> ());
+
+macro_rules! dispatch {
+    ($be:expr, $scalar:ident, $avx2:ident, ($($arg:expr),*)) => {{
+        match $be {
+            Backend::Scalar => $scalar($($arg),*),
+            Backend::Avx2 => {
+                #[cfg(all(target_arch = "x86_64", not(feature = "scalar-only")))]
+                {
+                    if avx2_available() {
+                        unsafe { $avx2($($arg),*) }
+                    } else {
+                        $scalar($($arg),*)
+                    }
+                }
+                #[cfg(not(all(target_arch = "x86_64", not(feature = "scalar-only"))))]
+                {
+                    $scalar($($arg),*)
+                }
+            }
+        }
+    }};
+}
+
+/// Dot product on an explicit backend (extent mismatch truncates to the
+/// shorter slice). Used by the equivalence suites to compare both paths in
+/// one process.
+pub fn dot_on(be: Backend, a: &[f32], b: &[f32]) -> f32 {
+    dispatch!(be, dot_scalar, dot_avx2, (a, b))
+}
+
+/// Dot product on the dispatched backend ([`backend`]).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_on(backend(), a, b)
+}
+
+/// `dst[i] += s * src[i]` (fused) on an explicit backend.
+pub fn axpy_on(be: Backend, dst: &mut [f32], s: f32, src: &[f32]) {
+    dispatch!(be, axpy_scalar, axpy_avx2, (dst, s, src))
+}
+
+/// `dst[i] += s * src[i]` (fused) over the overlap of the two slices.
+#[inline]
+pub fn axpy(dst: &mut [f32], s: f32, src: &[f32]) {
+    axpy_on(backend(), dst, s, src)
+}
+
+/// `dst[i] *= s` on an explicit backend.
+pub fn scale_on(be: Backend, dst: &mut [f32], s: f32) {
+    dispatch!(be, scale_scalar, scale_avx2, (dst, s))
+}
+
+/// `dst[i] *= s` (the online-softmax rescale).
+#[inline]
+pub fn scale(dst: &mut [f32], s: f32) {
+    scale_on(backend(), dst, s)
+}
+
+/// `dst[i] /= d` on an explicit backend.
+pub fn dscale_on(be: Backend, dst: &mut [f32], d: f32) {
+    dispatch!(be, dscale_scalar, dscale_avx2, (dst, d))
+}
+
+/// `dst[i] /= d` (the online-softmax finalize divide; kept a true IEEE
+/// division, never a reciprocal multiply, in both backends).
+#[inline]
+pub fn dscale(dst: &mut [f32], d: f32) {
+    dscale_on(backend(), dst, d)
+}
+
+/// Register-blocked panel accumulation (`C_block += A_rows · B_panel`,
+/// see [`Panel`]) on an explicit backend.
+pub fn gemm_panel_on(be: Backend, p: &Panel<'_>, c: &mut [f32]) {
+    p.check(c.len());
+    dispatch!(be, gemm_panel_scalar, gemm_panel_avx2, (p, c))
+}
+
+/// Register-blocked panel accumulation on the dispatched backend.
+#[inline]
+pub fn gemm_panel(p: &Panel<'_>, c: &mut [f32]) {
+    gemm_panel_on(backend(), p, c)
+}
+
+/// `c_row[j] += a_row · b_row_j` over `c_row.len()` strided B rows on an
+/// explicit backend: B row `j` is `b[(b_row0+j)*b_stride + b_off ..][..kc]`.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_rows_on(
+    be: Backend,
+    c_row: &mut [f32],
+    a_row: &[f32],
+    b: &[f32],
+    b_row0: usize,
+    b_stride: usize,
+    b_off: usize,
+    kc: usize,
+) {
+    assert!(kc <= a_row.len());
+    if !c_row.is_empty() && kc > 0 {
+        assert!((b_row0 + c_row.len() - 1) * b_stride + b_off + kc <= b.len());
+    }
+    dispatch!(
+        be,
+        dot_rows_scalar,
+        dot_rows_avx2,
+        (c_row, a_row, b, b_row0, b_stride, b_off, kc)
+    )
+}
+
+/// `c_row[j] += a_row · b_row_j` on the dispatched backend (the `gemm_nt`
+/// inner sweep).
+#[inline]
+pub fn dot_rows(
+    c_row: &mut [f32],
+    a_row: &[f32],
+    b: &[f32],
+    b_row0: usize,
+    b_stride: usize,
+    b_off: usize,
+    kc: usize,
+) {
+    dot_rows_on(backend(), c_row, a_row, b, b_row0, b_stride, b_off, kc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(f: impl Fn(Backend)) {
+        f(Backend::Scalar);
+        if avx2_available() {
+            f(Backend::Avx2);
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive_on_every_backend() {
+        let a: Vec<f32> = (0..67).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32 * 0.11).cos()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        both(|be| {
+            assert!((dot_on(be, &a, &b) - naive).abs() < 1e-4, "{be:?}");
+        });
+    }
+
+    #[test]
+    fn backends_are_bitwise_identical_on_awkward_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 65] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 1.7).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).cos() * 2.0).collect();
+            if avx2_available() {
+                assert_eq!(
+                    dot_on(Backend::Scalar, &a, &b).to_bits(),
+                    dot_on(Backend::Avx2, &a, &b).to_bits(),
+                    "dot length {n}"
+                );
+                let mut d1 = a.clone();
+                let mut d2 = a.clone();
+                axpy_on(Backend::Scalar, &mut d1, 1.25, &b);
+                axpy_on(Backend::Avx2, &mut d2, 1.25, &b);
+                assert_eq!(
+                    d1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    d2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "axpy length {n}"
+                );
+                let mut s1 = a.clone();
+                let mut s2 = a.clone();
+                scale_on(Backend::Scalar, &mut s1, 0.3);
+                scale_on(Backend::Avx2, &mut s2, 0.3);
+                assert_eq!(s1, s2, "scale length {n}");
+                dscale_on(Backend::Scalar, &mut s1, 0.7);
+                dscale_on(Backend::Avx2, &mut s2, 0.7);
+                assert_eq!(s1, s2, "dscale length {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn override_round_trips_and_wins() {
+        let prev = set_backend(Some(Backend::Scalar));
+        assert_eq!(backend(), Backend::Scalar);
+        assert_eq!(set_backend(prev), Some(Backend::Scalar));
+    }
+
+    #[test]
+    fn gemm_panel_matches_naive_accumulation() {
+        // 9 rows x 21 cols x depth 5 exercises the 4-row, 16/8-col and
+        // scalar-tail paths at once.
+        let (rows, nc, kc) = (9usize, 21usize, 5usize);
+        let a: Vec<f32> = (0..rows * kc).map(|i| (i as f32 * 0.3).sin()).collect();
+        let bp: Vec<f32> = (0..kc * nc).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut want = vec![0.5f32; rows * nc];
+        for r in 0..rows {
+            for j in 0..nc {
+                let mut s = want[r * nc + j];
+                for l in 0..kc {
+                    s = a[r * kc + l].mul_add(bp[l * nc + j], s);
+                }
+                want[r * nc + j] = s;
+            }
+        }
+        both(|be| {
+            let mut c = vec![0.5f32; rows * nc];
+            let p = Panel {
+                a: &a,
+                a_off: 0,
+                a_stride: kc,
+                bp: &bp,
+                b_stride: nc,
+                b_col0: 0,
+                kc,
+                nc,
+                rows,
+                c_stride: nc,
+                c_col0: 0,
+            };
+            gemm_panel_on(be, &p, &mut c);
+            for (g, w) in c.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "{be:?}: {g} vs {w}");
+            }
+        });
+    }
+
+    #[test]
+    fn dot_rows_matches_per_row_dots() {
+        let (nc, kc, stride) = (11usize, 19usize, 23usize);
+        let a: Vec<f32> = (0..kc).map(|i| (i as f32 * 0.21).sin()).collect();
+        let b: Vec<f32> = (0..(nc + 2) * stride).map(|i| (i as f32 * 0.13).cos()).collect();
+        both(|be| {
+            let mut c = vec![0.25f32; nc];
+            dot_rows_on(be, &mut c, &a, &b, 2, stride, 3, kc);
+            for (j, got) in c.iter().enumerate() {
+                let row = &b[(2 + j) * stride + 3..(2 + j) * stride + 3 + kc];
+                let want: f32 = 0.25 + a.iter().zip(row).map(|(&x, &y)| x * y).sum::<f32>();
+                assert!((got - want).abs() < 1e-4, "{be:?} j={j}");
+            }
+        });
+    }
+}

@@ -11,11 +11,15 @@
 //! or A-panel packing where the source layout is strided) and fans the
 //! row-block loop out to the kernel pool through [`crate::par::run_rows`].
 //! The split threshold is the shared `FPDT_PAR_THRESHOLD` tunable, not a
-//! per-file constant. Determinism: every `C` element accumulates its `k`
-//! contributions in ascending-`l` order regardless of tile shape or thread
-//! count, so results are bitwise identical from `FPDT_THREADS=1` to N.
+//! per-file constant. Inside each panel the inner loops are the
+//! register-blocked SIMD microkernels from [`crate::mk`] (4x16 FMA tiles
+//! for `gemm`/`gemm_tn`, 4-row dot sweeps for `gemm_nt`), runtime
+//! dispatched between AVX2 and the bitwise-identical scalar fallback.
+//! Determinism: every `C` element accumulates its `k` contributions in
+//! ascending-`l` order regardless of tile shape, backend, or thread count,
+//! so results are bitwise identical from `FPDT_THREADS=1` to N.
 
-use crate::{par, Result, Tensor, TensorError};
+use crate::{mk, par, Result, Tensor, TensorError};
 
 /// Rows of `C` per parallel work item (the fan-out grain).
 const MC: usize = 32;
@@ -53,16 +57,22 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
                 let bp = &*bp;
                 par::run_rows(c, MC * n, work, |blk, c_blk| {
                     let i0 = blk * MC;
-                    for r in 0..c_blk.len() / n {
-                        let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
-                        let c_row = &mut c_blk[r * n + jc..r * n + jc + nc];
-                        for (l, &a_il) in a_row.iter().enumerate() {
-                            if a_il == 0.0 {
-                                continue;
-                            }
-                            par::axpy(c_row, a_il, &bp[l * nc..(l + 1) * nc]);
-                        }
-                    }
+                    mk::gemm_panel(
+                        &mk::Panel {
+                            a,
+                            a_off: i0 * k + pc,
+                            a_stride: k,
+                            bp,
+                            b_stride: nc,
+                            b_col0: 0,
+                            kc,
+                            nc,
+                            rows: c_blk.len() / n,
+                            c_stride: n,
+                            c_col0: jc,
+                        },
+                        c_blk,
+                    );
                 });
             });
         }
@@ -89,10 +99,8 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
                 for r in 0..c_blk.len() / n {
                     let a_row = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
                     let c_row = &mut c_blk[r * n + jc..r * n + jc + nc];
-                    for (j, c_ij) in c_row.iter_mut().enumerate() {
-                        let b_row = &b[(jc + j) * k + pc..(jc + j) * k + pc + kc];
-                        *c_ij += par::dot(a_row, b_row);
-                    }
+                    // Four B rows per register block share each a_row load.
+                    mk::dot_rows(c_row, a_row, b, jc, k, pc, kc);
                 }
             });
         }
@@ -122,15 +130,22 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
                         ap[r * kc + l] = v;
                     }
                 }
-                for r in 0..rows {
-                    let c_row = &mut c_blk[r * n..(r + 1) * n];
-                    for (l, &a_il) in ap[r * kc..(r + 1) * kc].iter().enumerate() {
-                        if a_il == 0.0 {
-                            continue;
-                        }
-                        par::axpy(c_row, a_il, &b[(pc + l) * n..(pc + l + 1) * n]);
-                    }
-                }
+                mk::gemm_panel(
+                    &mk::Panel {
+                        a: ap,
+                        a_off: 0,
+                        a_stride: kc,
+                        bp: &b[pc * n..(pc + kc) * n],
+                        b_stride: n,
+                        b_col0: 0,
+                        kc,
+                        nc: n,
+                        rows,
+                        c_stride: n,
+                        c_col0: 0,
+                    },
+                    c_blk,
+                );
             });
         });
     }

@@ -162,35 +162,34 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     r
 }
 
-/// Dot product with four independent accumulators combined in a fixed
-/// order — deterministic, and wide enough for the compiler to keep the
-/// FMA pipeline busy. Extent mismatch truncates to the shorter slice.
+/// Dot product with four independent 8-lane accumulators combined in a
+/// fixed order — deterministic, and dispatched to the SIMD microkernel
+/// layer ([`crate::mk`]), whose scalar and AVX2 instantiations are bitwise
+/// identical. Extent mismatch truncates to the shorter slice.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; 4];
-    let chunks = n / 4;
-    for i in 0..chunks {
-        let (ai, bi) = (&a[i * 4..i * 4 + 4], &b[i * 4..i * 4 + 4]);
-        acc[0] += ai[0] * bi[0];
-        acc[1] += ai[1] * bi[1];
-        acc[2] += ai[2] * bi[2];
-        acc[3] += ai[3] * bi[3];
-    }
-    let mut tail = 0.0f32;
-    for i in chunks * 4..n {
-        tail += a[i] * b[i];
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    crate::mk::dot(a, b)
 }
 
-/// `dst[i] += s * src[i]` over the overlap of the two slices.
+/// `dst[i] += s * src[i]` (fused multiply-add) over the overlap of the two
+/// slices, dispatched to [`crate::mk`].
 #[inline]
 pub fn axpy(dst: &mut [f32], s: f32, src: &[f32]) {
-    for (d, &x) in dst.iter_mut().zip(src) {
-        *d += s * x;
-    }
+    crate::mk::axpy(dst, s, src)
+}
+
+/// `dst[i] *= s` (the online-softmax accumulator rescale), dispatched to
+/// [`crate::mk`].
+#[inline]
+pub fn scale(dst: &mut [f32], s: f32) {
+    crate::mk::scale(dst, s)
+}
+
+/// `dst[i] /= d` (the online-softmax finalize divide — a true IEEE
+/// division in both backends), dispatched to [`crate::mk`].
+#[inline]
+pub fn dscale(dst: &mut [f32], d: f32) {
+    crate::mk::dscale(dst, d)
 }
 
 #[cfg(test)]

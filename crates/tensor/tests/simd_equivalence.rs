@@ -1,0 +1,259 @@
+//! Bitwise equivalence of the AVX2/FMA microkernels against the portable
+//! scalar fallback, across odd/remainder shapes and kernel-pool thread
+//! budgets (1, 2, and 8 threads).
+//!
+//! Both backends run the same generic kernel over an 8-lane vector trait:
+//! identical register blocking, identical remainder handling, and a fixed
+//! 8-lane reduction tree, so every result must match the scalar backend
+//! *bitwise* — the backend is a pure performance knob. These tests pin
+//! that contract on the raw `mk` primitives (explicit-backend `_on`
+//! entry points) and on the full `ops` gemm family with the process-wide
+//! backend forced.
+//!
+//! On hardware without AVX2 the SIMD legs are skipped; the scalar legs
+//! still exercise the dispatch plumbing.
+
+use fpdt_tensor::mk::{self, Backend, Panel};
+use fpdt_tensor::{init, ops, par};
+use proptest::prelude::*;
+use rayon::pool;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that touch process-wide kernel state (backend
+/// override, thread budget, parallel threshold).
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Forces a kernel backend (and optionally a thread budget with the
+/// parallel threshold dropped to 1) for the guard's lifetime, restoring
+/// the previous configuration on drop.
+struct ForcedKernels<'a> {
+    _guard: MutexGuard<'a, ()>,
+    prev_backend: Option<Backend>,
+    prev_threshold: usize,
+    prev_threads: usize,
+}
+
+impl ForcedKernels<'_> {
+    fn new(backend: Backend, threads: usize) -> Self {
+        let guard = CONFIG_LOCK.lock().unwrap();
+        ForcedKernels {
+            _guard: guard,
+            prev_backend: mk::set_backend(Some(backend)),
+            prev_threshold: par::set_par_threshold(1),
+            prev_threads: pool::set_threads(threads),
+        }
+    }
+}
+
+impl Drop for ForcedKernels<'_> {
+    fn drop(&mut self) {
+        pool::set_threads(self.prev_threads);
+        par::set_par_threshold(self.prev_threshold);
+        mk::set_backend(self.prev_backend);
+    }
+}
+
+fn bits(t: &[f32]) -> Vec<u32> {
+    t.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Backends to compare: scalar always, AVX2 when the CPU has it.
+fn backends() -> Vec<Backend> {
+    let mut out = vec![Backend::Scalar];
+    if mk::avx2_available() {
+        out.push(Backend::Avx2);
+    }
+    out
+}
+
+fn randv(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = init::seeded_rng(seed);
+    init::randn(&mut rng, &[n.max(1)], 1.0).data()[..n].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `dot`/`axpy`/`scale`/`dscale` hit the 8-lane body plus a scalar
+    /// tail; lengths below 8 are tail-only. All must match bitwise.
+    #[test]
+    fn vector_primitives_match_scalar_bitwise(len in 0usize..70, seed in 0u64..1_000) {
+        let a = randv(seed, len);
+        let b = randv(seed.wrapping_add(1), len);
+        let s = 0.37f32 + (seed % 7) as f32;
+        let reference = {
+            let be = Backend::Scalar;
+            let mut ax = a.clone();
+            mk::axpy_on(be, &mut ax, s, &b);
+            let mut sc = a.clone();
+            mk::scale_on(be, &mut sc, s);
+            let mut ds = a.clone();
+            mk::dscale_on(be, &mut ds, s);
+            (mk::dot_on(be, &a, &b).to_bits(), bits(&ax), bits(&sc), bits(&ds))
+        };
+        for be in backends() {
+            let mut ax = a.clone();
+            mk::axpy_on(be, &mut ax, s, &b);
+            let mut sc = a.clone();
+            mk::scale_on(be, &mut sc, s);
+            let mut ds = a.clone();
+            mk::dscale_on(be, &mut ds, s);
+            let got = (mk::dot_on(be, &a, &b).to_bits(), bits(&ax), bits(&sc), bits(&ds));
+            prop_assert_eq!(&reference, &got, "backend {:?} diverged at len {}", be, len);
+        }
+    }
+
+    /// A raw panel with irregular geometry: rows spanning 4-row tiles plus
+    /// a remainder, columns spanning 16-wide and 8-wide vector tiles plus
+    /// a scalar tail, including `kc == 0` (pure C pass-through).
+    #[test]
+    fn gemm_panel_matches_scalar_bitwise(
+        rows in 1usize..10,
+        kc in 0usize..20,
+        nc in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = randv(seed, rows * kc.max(1));
+        let bp = randv(seed.wrapping_add(1), kc.max(1) * nc);
+        let c0 = randv(seed.wrapping_add(2), rows * nc);
+        let run = |be: Backend| {
+            let mut c = c0.clone();
+            let p = Panel {
+                a: &a,
+                a_off: 0,
+                a_stride: kc,
+                bp: &bp,
+                b_stride: nc,
+                b_col0: 0,
+                kc,
+                nc,
+                rows,
+                c_stride: nc,
+                c_col0: 0,
+            };
+            mk::gemm_panel_on(be, &p, &mut c);
+            bits(&c)
+        };
+        let reference = run(Backend::Scalar);
+        for be in backends() {
+            prop_assert_eq!(&reference, &run(be), "backend {:?} diverged", be);
+        }
+    }
+
+    /// The strided row-dot kernel behind `gemm_nt`: every `b` row offset
+    /// and stride combination must reduce through the same fixed tree.
+    #[test]
+    fn dot_rows_matches_scalar_bitwise(
+        n in 1usize..12,
+        k in 1usize..40,
+        kc in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let kc = kc.min(k);
+        let pc = (k - kc) / 2; // panel offset inside the depth dimension
+        let a_row = randv(seed, k);
+        let b = randv(seed.wrapping_add(1), n * k);
+        let run = |be: Backend| {
+            let mut c_row = randv(seed.wrapping_add(2), n);
+            mk::dot_rows_on(be, &mut c_row, &a_row[pc..], &b, 0, k, pc, kc);
+            bits(&c_row)
+        };
+        let reference = run(Backend::Scalar);
+        for be in backends() {
+            prop_assert_eq!(&reference, &run(be), "backend {:?} diverged", be);
+        }
+    }
+
+    /// The full gemm family through `ops`, with the process-wide backend
+    /// forced: blocked panels, packing, and remainder tiles all compose to
+    /// the same bits, at 1, 2, and 8 kernel threads alike.
+    #[test]
+    fn gemm_family_matches_scalar_bitwise_at_any_thread_count(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in 0u64..200,
+    ) {
+        let a = randv(seed, m * k);
+        let b = randv(seed.wrapping_add(1), k * n);
+        let at: Vec<f32> = (0..k * m).map(|i| a[(i % m) * k + i / m]).collect();
+        let bt: Vec<f32> = (0..n * k).map(|i| b[(i % k) * n + i / k]).collect();
+        let run = |be: Backend, threads: usize| {
+            let _cfg = ForcedKernels::new(be, threads);
+            let mut c = vec![0.0f32; m * n];
+            ops::gemm(m, k, n, &a, &b, &mut c);
+            let mut c_nt = vec![0.0f32; m * n];
+            ops::gemm_nt(m, k, n, &a, &bt, &mut c_nt);
+            let mut c_tn = vec![0.0f32; m * n];
+            ops::gemm_tn(m, k, n, &at, &b, &mut c_tn);
+            (bits(&c), bits(&c_nt), bits(&c_tn))
+        };
+        let reference = run(Backend::Scalar, 1);
+        for be in backends() {
+            for threads in [1usize, 2, 8] {
+                prop_assert_eq!(
+                    &reference,
+                    &run(be, threads),
+                    "backend {:?} at {} threads diverged",
+                    be,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+/// GQA-shaped matmuls (odd head counts, head dims straddling the 8-lane
+/// width) plus the backward pass, forced through both backends at every
+/// thread budget.
+#[test]
+fn matmul_and_backward_match_scalar_bitwise() {
+    // (m, k, n) covering 4-row tile remainders, sub-8 and 8+tail columns.
+    let shapes = [(67usize, 43usize, 35usize), (5, 7, 3), (33, 96, 17)];
+    for (si, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut rng = init::seeded_rng(90 + si as u64);
+        let a = init::randn(&mut rng, &[m, k], 1.0);
+        let b = init::randn(&mut rng, &[k, n], 1.0);
+        let dc = init::randn(&mut rng, &[m, n], 1.0);
+        let run = |be: Backend, threads: usize| {
+            let _cfg = ForcedKernels::new(be, threads);
+            let c = ops::matmul(&a, &b).unwrap();
+            let (da, db) = ops::matmul_bwd(&a, &b, &dc).unwrap();
+            let mut flat = c.data().to_vec();
+            flat.extend_from_slice(da.data());
+            flat.extend_from_slice(db.data());
+            bits(&flat)
+        };
+        let reference = run(Backend::Scalar, 1);
+        assert!(
+            reference.iter().any(|&v| v != 0),
+            "all-zero output would make the comparison vacuous"
+        );
+        for be in backends() {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    reference,
+                    run(be, threads),
+                    "shape {m}x{k}x{n}: backend {be:?} at {threads} threads diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The backend override itself round-trips and reports availability
+/// consistently with what dispatch actually uses.
+#[test]
+fn backend_override_round_trips() {
+    let _guard = CONFIG_LOCK.lock().unwrap();
+    let prev = mk::set_backend(Some(Backend::Scalar));
+    assert_eq!(mk::backend(), Backend::Scalar);
+    if mk::avx2_available() {
+        mk::set_backend(Some(Backend::Avx2));
+        assert_eq!(mk::backend(), Backend::Avx2);
+    }
+    mk::set_backend(None);
+    // Auto mode picks AVX2 exactly when the CPU supports it.
+    assert_eq!(mk::backend() == Backend::Avx2, mk::avx2_available());
+    mk::set_backend(prev);
+}

@@ -15,6 +15,9 @@
 //! * [`span`] — a lightweight RAII [`span::Recorder`] for wall-clock
 //!   instrumentation of the real (thread-based) runtime; exports to the
 //!   same Chrome format.
+//! * [`wire`] — opt-in simulated-interconnect occupancy
+//!   (`FPDT_SIM_GBPS`) so the real runtime's transfers take wall-clock
+//!   time proportional to their wire bytes.
 //!
 //! [`fpdt_sim::engine`]: fpdt_sim::engine
 
@@ -24,6 +27,7 @@ pub mod chrome;
 mod json;
 pub mod metrics;
 pub mod span;
+pub mod wire;
 
 pub use chrome::sim_chrome_trace;
 pub use metrics::ScheduleMetrics;

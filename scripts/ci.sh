@@ -27,14 +27,30 @@ fi
 echo "==> kernels --json --quick smoke (BENCH_kernels.json must parse)"
 out=$(cargo run -q --release -p fpdt-bench --bin kernels -- --json --quick)
 echo "$out"
-# The kernel bench asserts bitwise-identical outputs across thread counts
-# before printing its BENCH_JSON_OK line.
+# The kernel bench asserts bitwise-identical outputs across every
+# backend/thread configuration before printing its BENCH_JSON_OK line.
 if ! grep -q '^BENCH_JSON_OK .*BENCH_kernels\.json$' <<<"$out"; then
     echo "FAIL: kernels --json did not validate BENCH_kernels.json" >&2
     exit 1
 fi
+# On AVX2 hosts the SIMD matmul must be at least 2x its scalar fallback.
+if grep -q '"avx2": true' target/experiments/BENCH_kernels.json \
+    && ! grep -q '^KERNELS_SIMD_OK ' <<<"$out"; then
+    echo "FAIL: SIMD matmul under 2x its scalar fallback on an AVX2 host" >&2
+    exit 1
+fi
 
-echo "==> runtime --json --quick smoke (overlap must be measurable)"
+echo "==> kernels --features scalar-only smoke (portable fallback builds)"
+out=$(cargo run -q --release -p fpdt-bench --features scalar-only --bin kernels -- --json --quick)
+echo "$out"
+# The scalar-only build drops the AVX2 instantiation entirely; the bench
+# must still validate its artifact (no SIMD gate applies).
+if ! grep -q '^BENCH_JSON_OK .*BENCH_kernels\.json$' <<<"$out"; then
+    echo "FAIL: scalar-only kernels build did not validate BENCH_kernels.json" >&2
+    exit 1
+fi
+
+echo "==> runtime --json --quick smoke (overlap + bf16 win must be measurable)"
 out=$(cargo run -q --release -p fpdt-bench --bin runtime -- --json --quick)
 echo "$out"
 # The runtime bench asserts bitwise-identical losses with the copy stream
@@ -54,20 +70,42 @@ if ! grep -q '^RUNTIME_COMM_OVERLAP_OK ' <<<"$out"; then
     echo "FAIL: comm-stream-enabled run measured no compute/comm overlap" >&2
     exit 1
 fi
+# Both overlap signals must survive bf16 payloads...
+if ! grep -q '^RUNTIME_BF16_OVERLAP_OK ' <<<"$out"; then
+    echo "FAIL: bf16 run measured no compute/copy overlap" >&2
+    exit 1
+fi
+if ! grep -q '^RUNTIME_BF16_COMM_OVERLAP_OK ' <<<"$out"; then
+    echo "FAIL: bf16 run measured no compute/comm overlap" >&2
+    exit 1
+fi
+# ...and the headline: prefetch + comm_async + bf16 payloads must beat
+# the fully serial f32 configuration in tokens/s (ROADMAP item #1).
+if ! grep -q '^RUNTIME_BF16_WIN_OK ' <<<"$out"; then
+    echo "FAIL: bf16 dual-stream run did not beat f32 streams-off tokens/s" >&2
+    exit 1
+fi
 
 echo "==> cargo test -q --workspace under FPDT_THREADS=1"
 # The whole suite must also pass with the kernel pool pinned to a single
 # thread (the sequential fast path) — same numbers, same results.
 FPDT_THREADS=1 cargo test -q --workspace
 
-echo "==> cargo test -q --workspace under FPDT_PREFETCH=0"
+echo "==> cargo test -q --workspace under FPDT_BF16=0 FPDT_PREFETCH=0"
 # And with the async copy stream globally disabled: prefetch is a latency
-# optimisation, never a semantic one.
-FPDT_PREFETCH=0 cargo test -q --workspace
+# optimisation, never a semantic one. (bf16 pinned off so the leg tests
+# exactly one knob.)
+FPDT_BF16=0 FPDT_PREFETCH=0 cargo test -q --workspace
 
-echo "==> cargo test -q --workspace under FPDT_COMM_ASYNC=0"
+echo "==> cargo test -q --workspace under FPDT_BF16=0 FPDT_COMM_ASYNC=0"
 # And with the async communication stream globally disabled: posting
 # all-to-alls early is likewise a pure latency optimisation.
-FPDT_COMM_ASYNC=0 cargo test -q --workspace
+FPDT_BF16=0 FPDT_COMM_ASYNC=0 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace under FPDT_BF16=1"
+# And with bf16 wire payloads on everywhere: the one numerics-affecting
+# knob. Cross-mode loss comparisons pin it off internally; everything
+# else must hold bit-for-bit schedules and bf16-tolerance numerics.
+FPDT_BF16=1 cargo test -q --workspace
 
 echo "CI OK"

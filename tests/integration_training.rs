@@ -27,7 +27,12 @@ fn max_divergence(a: &[f32], b: &[f32]) -> f32 {
 
 #[test]
 fn all_modes_learn_and_agree() {
-    let base = base_config();
+    // Distributed-vs-single loss comparison: pin the payload format so an
+    // ambient `FPDT_BF16=1` (the CI leg) cannot round the distributed
+    // legs' payloads while the single-rank baseline, which moves no
+    // payloads, stays full-precision.
+    let mut base = base_config();
+    base.runtime = base.runtime.with_payload_bf16(false);
     let single = train(&base);
     assert!(
         single.losses.last().unwrap() < &(single.losses[0] * 0.9),
