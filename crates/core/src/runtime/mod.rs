@@ -13,12 +13,17 @@
 //!   Figure 14: baseline and FPDT loss curves coincide.
 //! * [`options`] — [`RuntimeOptions`], the single builder behind every
 //!   runtime knob (offload, prefetch, comm stream, kernel threads).
+//! * [`autotune`] — trace-calibrated autotuning: probe a short run,
+//!   fit the simulator's cost constants from its spans, and search the
+//!   knob space for the predicted-fastest configuration.
 
+pub mod autotune;
 pub mod data;
 pub mod dist;
 pub mod exec;
 pub mod gpt;
 pub mod options;
 
+pub use autotune::{autotune, AutotuneOutcome, Calibration, CandidateConfig, Workload};
 pub use dist::{train, train_traced, Mode, TrainConfig, TrainReport};
 pub use options::RuntimeOptions;

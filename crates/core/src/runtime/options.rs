@@ -38,8 +38,46 @@ fn env_flag(name: &str, default: bool) -> bool {
     }
 }
 
+/// Strictly validates a count-valued knob: trimmed decimal, nonzero.
+///
+/// Returns the reason a value is unusable so [`env_usize`] can warn —
+/// an operator who exports `FPDT_THREADS=eight` (or `=0`) should hear
+/// about the typo once instead of silently training on the default.
+fn parse_usize_strict(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("value is empty".to_string());
+    }
+    match trimmed.parse::<usize>() {
+        Err(_) => Err(format!("`{trimmed}` is not a positive integer")),
+        Ok(0) => Err("`0` is not a usable value (must be >= 1)".to_string()),
+        Ok(v) => Ok(v),
+    }
+}
+
+/// Warns about a malformed variable at most once per process.
+fn warn_once(name: &str, why: &str) {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("env warning set");
+    if warned.insert(name.to_string()) {
+        eprintln!("warning: ignoring malformed {name} ({why}); using the default");
+    }
+}
+
 fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
+    let raw = std::env::var(name).ok()?;
+    match parse_usize_strict(&raw) {
+        Ok(v) => Some(v),
+        Err(why) => {
+            warn_once(name, &why);
+            None
+        }
+    }
 }
 
 /// Every runtime knob, in one place, with a builder for overrides.
@@ -138,6 +176,16 @@ impl RuntimeOptions {
         self
     }
 
+    /// Probes, fits, and searches the runtime knob space for `workload`
+    /// (see [`crate::runtime::autotune`]), returning the
+    /// predicted-fastest options. The chunk count the search picked
+    /// travels separately (it lives in `Mode::Fpdt`, not here) — use
+    /// [`crate::runtime::autotune::autotune`] directly when you need the
+    /// full [`crate::runtime::AutotuneOutcome`].
+    pub fn autotune(workload: &super::autotune::Workload) -> Self {
+        super::autotune::autotune(workload).best.config.options()
+    }
+
     /// Pushes `threads`/`par_threshold` overrides into the process-wide
     /// kernel settings, returning the previous `(threads, par_threshold)`
     /// so callers can restore them. `None` fields leave the current
@@ -226,6 +274,34 @@ mod tests {
         }
         std::env::remove_var("FPDT_TEST_FLAG");
         assert!(!env_flag("FPDT_TEST_FLAG", false), "default respected");
+    }
+
+    #[test]
+    fn strict_parse_rejects_empty_garbage_zero() {
+        assert!(parse_usize_strict("").is_err(), "empty");
+        assert!(parse_usize_strict("   ").is_err(), "whitespace");
+        assert!(parse_usize_strict("eight").is_err(), "garbage");
+        assert!(parse_usize_strict("3.5").is_err(), "float");
+        assert!(parse_usize_strict("-2").is_err(), "negative");
+        assert!(parse_usize_strict("0").is_err(), "zero");
+        assert_eq!(parse_usize_strict("8"), Ok(8));
+        assert_eq!(parse_usize_strict(" 16 "), Ok(16), "trimmed");
+    }
+
+    #[test]
+    fn malformed_env_counts_fall_back_to_default() {
+        // Dedicated variable names so concurrent tests reading the real
+        // knobs are untouched; each malformed shape must read as unset.
+        for (i, bad) in ["", "garbage", "0", "-1"].iter().enumerate() {
+            let name = format!("FPDT_TEST_COUNT_{i}");
+            std::env::set_var(&name, bad);
+            assert_eq!(env_usize(&name), None, "{bad:?} must fall back");
+            std::env::remove_var(&name);
+        }
+        std::env::set_var("FPDT_TEST_COUNT_OK", "4");
+        assert_eq!(env_usize("FPDT_TEST_COUNT_OK"), Some(4));
+        std::env::remove_var("FPDT_TEST_COUNT_OK");
+        assert_eq!(env_usize("FPDT_TEST_COUNT_OK"), None, "unset stays None");
     }
 
     #[test]

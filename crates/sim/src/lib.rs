@@ -51,6 +51,7 @@ pub mod engine;
 mod error;
 pub mod hw;
 pub mod memory;
+pub mod query;
 
 pub use error::SimError;
 

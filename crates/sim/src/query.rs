@@ -1,0 +1,220 @@
+//! Makespan queries: translate an abstract per-step op graph into the
+//! discrete-event [`engine`](crate::engine) under a set of
+//! [`CostConstants`] and ask how long the step takes.
+//!
+//! This is the bridge the autotuner drives: the runtime layer describes
+//! one training step as a [`StepPlan`] — kernels, host copies, collective
+//! payloads, and their dependencies — once per candidate configuration,
+//! and [`StepPlan::makespan`] prices it under trace-fitted (or
+//! paper-calibrated) constants. Stream gating is part of the plan:
+//! with `copy_async`/`comm_async` off, the corresponding transfers run
+//! inline on the compute stream and serialize with kernels, exactly like
+//! the real runtime's inline fallback; with them on, transfers ride their
+//! own stream and the engine resolves how much of their wire time hides
+//! behind compute.
+
+use crate::cost::CostConstants;
+use crate::engine::{Engine, Work};
+use crate::{Result, SimError};
+
+/// What one planned op costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannedWork {
+    /// An attention-rate kernel of this many floating-point ops (priced
+    /// at `kernel_overhead + flops / attention_flops`).
+    Kernel {
+        /// Floating-point operations in the kernel.
+        flops: f64,
+    },
+    /// A fixed measured duration (e.g. the non-attention residue of a
+    /// probe step), seconds.
+    Fixed {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// A host↔device copy of this many wire bytes (priced at `pcie_bw`
+    /// with one `link_latency` preamble).
+    Copy {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A collective payload of this many wire bytes (priced at
+    /// `nvlink_bw` with one `link_latency` preamble).
+    Comm {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+/// One op of a [`StepPlan`].
+#[derive(Debug, Clone)]
+pub struct PlannedOp {
+    /// Display label (becomes the engine task name).
+    pub label: String,
+    /// The op's cost.
+    pub work: PlannedWork,
+    /// Indices of earlier ops that must finish first.
+    pub deps: Vec<usize>,
+}
+
+/// An abstract training step: ops plus the stream gating to price them
+/// under.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// The ops, in submission order (FIFO within each stream).
+    pub ops: Vec<PlannedOp>,
+    /// Copies ride a dedicated copy stream (`false` = inline on compute).
+    pub copy_async: bool,
+    /// Collectives ride a dedicated comm stream (`false` = inline).
+    pub comm_async: bool,
+}
+
+impl StepPlan {
+    /// An empty plan with the given stream gating.
+    pub fn new(copy_async: bool, comm_async: bool) -> Self {
+        StepPlan {
+            ops: Vec::new(),
+            copy_async,
+            comm_async,
+        }
+    }
+
+    /// Appends an op depending on the listed earlier ops, returning its
+    /// index for later `deps` references.
+    pub fn push(&mut self, label: &str, work: PlannedWork, deps: &[usize]) -> usize {
+        self.ops.push(PlannedOp {
+            label: label.to_string(),
+            work,
+            deps: deps.to_vec(),
+        });
+        self.ops.len() - 1
+    }
+
+    /// Prices the plan under `constants` and returns the step makespan in
+    /// seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when an op depends on a later
+    /// or unknown op, and propagates engine failures (e.g. dependency
+    /// cycles) unchanged.
+    pub fn makespan(&self, constants: &CostConstants) -> Result<f64> {
+        let mut eng = Engine::new();
+        let compute = eng.add_stream("compute");
+        let copy_stream = if self.copy_async {
+            eng.add_stream("copy")
+        } else {
+            compute
+        };
+        let comm_stream = if self.comm_async {
+            eng.add_stream("comm")
+        } else {
+            compute
+        };
+        // Each stream gets its own pipe: the runtime's simulated wire
+        // (`fpdt_trace::wire`) sleeps per transfer without cross-stream
+        // contention, so fair-sharing one resource would be wrong here.
+        let pcie = eng.add_resource("pcie", constants.pcie_bw, constants.link_latency);
+        let wire = eng.add_resource("wire", constants.nvlink_bw, constants.link_latency);
+
+        let mut ids = Vec::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            let (stream, work) = match op.work {
+                PlannedWork::Kernel { flops } => (
+                    compute,
+                    Work::Compute {
+                        seconds: constants.kernel_overhead + flops / constants.attention_flops,
+                    },
+                ),
+                PlannedWork::Fixed { seconds } => (compute, Work::Compute { seconds }),
+                PlannedWork::Copy { bytes } => (copy_stream, Work::Transfer { bytes, resource: pcie }),
+                PlannedWork::Comm { bytes } => (comm_stream, Work::Transfer { bytes, resource: wire }),
+            };
+            let mut builder = eng.task(&op.label, stream, work);
+            for &d in &op.deps {
+                if d >= i {
+                    return Err(SimError::InvalidConfig {
+                        what: format!("op {i} depends on later op {d}"),
+                    });
+                }
+                builder.deps(&[ids[d]]);
+            }
+            ids.push(builder.submit()?);
+        }
+        Ok(eng.run()?.makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::ClusterSpec;
+
+    fn constants() -> CostConstants {
+        CostConstants {
+            gemm_flops: 1e12,
+            attention_flops: 1e12,
+            kernel_overhead: 0.0,
+            nvlink_bw: 1e9,
+            pcie_bw: 1e9,
+            ib_bw: 1e9,
+            link_latency: 0.0,
+        }
+    }
+
+    #[test]
+    fn serial_plan_sums_and_async_plan_overlaps() {
+        // One 1s kernel plus a 1 GB copy (1s at 1 GB/s), no dependency.
+        let build = |copy_async: bool| {
+            let mut plan = StepPlan::new(copy_async, false);
+            plan.push("fetch", PlannedWork::Copy { bytes: 1_000_000_000 }, &[]);
+            plan.push("attn", PlannedWork::Kernel { flops: 1e12 }, &[]);
+            plan
+        };
+        let serial = build(false).makespan(&constants()).unwrap();
+        let overlapped = build(true).makespan(&constants()).unwrap();
+        assert!((serial - 2.0).abs() < 1e-9, "serial {serial}");
+        assert!((overlapped - 1.0).abs() < 1e-9, "overlapped {overlapped}");
+    }
+
+    #[test]
+    fn dependencies_serialize_across_streams() {
+        let mut plan = StepPlan::new(true, true);
+        let fetch = plan.push("fetch", PlannedWork::Copy { bytes: 500_000_000 }, &[]);
+        let attn = plan.push("attn", PlannedWork::Kernel { flops: 1e12 }, &[fetch]);
+        plan.push("a2a", PlannedWork::Comm { bytes: 250_000_000 }, &[attn]);
+        let t = plan.makespan(&constants()).unwrap();
+        assert!((t - 1.75).abs() < 1e-9, "chain {t}");
+    }
+
+    #[test]
+    fn fixed_ops_price_verbatim_and_bad_deps_error() {
+        let mut plan = StepPlan::new(false, false);
+        plan.push("lump", PlannedWork::Fixed { seconds: 0.25 }, &[]);
+        assert!((plan.makespan(&constants()).unwrap() - 0.25).abs() < 1e-12);
+
+        let mut bad = StepPlan::new(false, false);
+        bad.ops.push(PlannedOp {
+            label: "self".into(),
+            work: PlannedWork::Fixed { seconds: 1.0 },
+            deps: vec![0],
+        });
+        assert!(bad.makespan(&constants()).is_err());
+    }
+
+    #[test]
+    fn paper_constants_price_a_plausible_step() {
+        let c = crate::cost::CostConstants::from_cluster(&ClusterSpec::a100_80g(1, 4));
+        let mut plan = StepPlan::new(true, true);
+        for i in 0..4 {
+            let fetch = plan.push("fetch", PlannedWork::Copy { bytes: 1 << 26 }, &[]);
+            let a2a = plan.push("a2a", PlannedWork::Comm { bytes: 1 << 24 }, &[]);
+            let _ = i;
+            plan.push("attn", PlannedWork::Kernel { flops: 1e12 }, &[fetch, a2a]);
+        }
+        let t = plan.makespan(&c).unwrap();
+        assert!(t > 0.0 && t.is_finite());
+        // Four ~5.6ms kernels dominate the pipelined copies.
+        assert!(t < 0.1, "step {t}");
+    }
+}

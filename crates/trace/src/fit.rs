@@ -1,0 +1,214 @@
+//! Span → cost-constant fitting: turn the wall-clock [`SpanRecord`]s of
+//! a probe run into the rate/overhead constants the simulator prices
+//! schedules with.
+//!
+//! Transfers in the instrumented runtime follow an affine cost
+//! `dur_us = overhead + bytes / rate`: a fixed per-op cost (span
+//! bookkeeping, channel hop, memcpy setup) plus wire time proportional
+//! to payload size. [`fit_linear`] recovers both terms from a cloud of
+//! `(bytes, dur_us)` samples by least squares; [`samples_for`] collects
+//! that cloud from recorded spans by label prefix; [`aggregate`]
+//! summarizes a trace per category so callers (and the `calibration.json`
+//! artifact) can report what each fit was based on.
+
+use crate::span::SpanRecord;
+
+/// Count/time/bytes totals of one span category.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CategorySummary {
+    /// Spans matched.
+    pub count: usize,
+    /// Summed duration, µs.
+    pub total_us: f64,
+    /// Summed payload bytes (spans without payloads contribute nothing).
+    pub total_bytes: u64,
+}
+
+/// An affine transfer-cost fit: `dur_us ≈ overhead_us + bytes / rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fixed per-op overhead, µs (clamped at zero).
+    pub overhead_us: f64,
+    /// Transfer rate in GB/s implied by the slope.
+    pub gbps: f64,
+}
+
+impl LinearFit {
+    /// The fitted duration of a `bytes`-sized transfer, µs.
+    pub fn predict_us(&self, bytes: u64) -> f64 {
+        self.overhead_us + bytes as f64 / (self.gbps * 1e9) * 1e6
+    }
+}
+
+/// Totals for every span whose label starts with one of `prefixes`.
+pub fn aggregate(records: &[SpanRecord], prefixes: &[&str]) -> CategorySummary {
+    let mut out = CategorySummary::default();
+    for s in records {
+        if prefixes.iter().any(|p| s.label.starts_with(p)) {
+            out.count += 1;
+            out.total_us += s.dur_us;
+            out.total_bytes += s.bytes.unwrap_or(0);
+        }
+    }
+    out
+}
+
+/// Summaries keyed by top-level label segment (`"offload.put"` →
+/// `"offload"`), sorted by category name — the per-category breakdown
+/// embedded in calibration artifacts.
+pub fn summarize_by_category(records: &[SpanRecord]) -> Vec<(String, CategorySummary)> {
+    let mut cats: Vec<(String, CategorySummary)> = Vec::new();
+    for s in records {
+        let cat = s.label.split('.').next().unwrap_or("span").to_string();
+        let entry = match cats.iter_mut().find(|(name, _)| *name == cat) {
+            Some((_, e)) => e,
+            None => {
+                cats.push((cat, CategorySummary::default()));
+                &mut cats.last_mut().expect("just pushed").1
+            }
+        };
+        entry.count += 1;
+        entry.total_us += s.dur_us;
+        entry.total_bytes += s.bytes.unwrap_or(0);
+    }
+    cats.sort_by(|a, b| a.0.cmp(&b.0));
+    cats
+}
+
+/// `(bytes, dur_us)` samples from every span matching `prefixes` that
+/// carries a payload size.
+pub fn samples_for(records: &[SpanRecord], prefixes: &[&str]) -> Vec<(u64, f64)> {
+    records
+        .iter()
+        .filter(|s| prefixes.iter().any(|p| s.label.starts_with(p)))
+        .filter_map(|s| s.bytes.map(|b| (b, s.dur_us)))
+        .collect()
+}
+
+/// Least-squares fit of `dur_us = overhead_us + bytes / rate`.
+///
+/// Degenerate clouds degrade gracefully: with fewer than two distinct
+/// byte sizes (no usable slope) the fit charges everything to the rate —
+/// zero overhead, `gbps` from the byte-weighted mean — and `None` is
+/// returned only when there are no samples or no time at all. A
+/// non-positive fitted slope (durations uncorrelated with size) falls
+/// back the same way, so the returned rate is always positive and usable
+/// as a simulator bandwidth.
+pub fn fit_linear(samples: &[(u64, f64)]) -> Option<LinearFit> {
+    let n = samples.len() as f64;
+    let total_bytes: f64 = samples.iter().map(|(b, _)| *b as f64).sum();
+    let total_us: f64 = samples.iter().map(|(_, d)| *d).sum();
+    if samples.is_empty() || total_us <= 0.0 || total_bytes <= 0.0 {
+        return None;
+    }
+    let bulk_rate = LinearFit {
+        overhead_us: 0.0,
+        gbps: total_bytes / total_us * 1e6 / 1e9,
+    };
+    let mean_b = total_bytes / n;
+    let mean_d = total_us / n;
+    let sxx: f64 = samples
+        .iter()
+        .map(|(b, _)| (*b as f64 - mean_b).powi(2))
+        .sum();
+    if sxx <= 0.0 {
+        return Some(bulk_rate); // every sample the same size: no slope
+    }
+    let sxy: f64 = samples
+        .iter()
+        .map(|(b, d)| (*b as f64 - mean_b) * (d - mean_d))
+        .sum();
+    let slope = sxy / sxx; // µs per byte
+    if slope <= 0.0 {
+        return Some(bulk_rate);
+    }
+    let overhead_us = (mean_d - slope * mean_b).max(0.0);
+    Some(LinearFit {
+        overhead_us,
+        gbps: 1.0 / slope * 1e6 / 1e9,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(label: &str, dur_us: f64, bytes: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            label: label.to_string(),
+            tid: 0,
+            start_us: 0.0,
+            dur_us,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn exact_affine_cloud_recovers_both_terms() {
+        // dur = 5 µs + bytes at 2 GB/s (0.0005 µs per byte).
+        let mk = |b: u64| span("offload.put", 5.0 + b as f64 * 0.0005, Some(b));
+        let records: Vec<_> = [10_000u64, 50_000, 200_000, 1_000_000]
+            .iter()
+            .map(|&b| mk(b))
+            .collect();
+        let fit = fit_linear(&samples_for(&records, &["offload."])).expect("fit");
+        assert!((fit.overhead_us - 5.0).abs() < 1e-6, "{fit:?}");
+        assert!((fit.gbps - 2.0).abs() < 1e-6, "{fit:?}");
+        assert!((fit.predict_us(400_000) - 205.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_sizes_fall_back_to_bulk_rate() {
+        // All spans the same size: slope is unidentifiable, so the fit
+        // must charge everything to a positive bulk rate.
+        let records = vec![
+            span("comm.inflight", 100.0, Some(100_000)),
+            span("comm.inflight", 102.0, Some(100_000)),
+        ];
+        let fit = fit_linear(&samples_for(&records, &["comm."])).expect("fit");
+        assert_eq!(fit.overhead_us, 0.0);
+        assert!(fit.gbps > 0.0);
+        // bulk rate ≈ 200_000 bytes / 202 µs ≈ 0.00099 GB/s
+        assert!((fit.gbps - 200_000.0 / 202.0 * 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_clouds_return_none() {
+        assert!(fit_linear(&[]).is_none());
+        assert!(fit_linear(&[(0, 0.0)]).is_none(), "no bytes, no time");
+        assert!(fit_linear(&[(100, 0.0)]).is_none(), "no time");
+        // Anticorrelated durations still produce a usable positive rate.
+        let weird = [(1_000u64, 50.0), (100_000u64, 10.0)];
+        let fit = fit_linear(&weird).expect("bulk fallback");
+        assert!(fit.gbps > 0.0);
+    }
+
+    #[test]
+    fn samples_skip_spans_without_payloads() {
+        let records = vec![
+            span("offload.put", 10.0, Some(64)),
+            span("offload.wait", 99.0, None),
+            span("kernel.attn", 50.0, Some(1000)),
+        ];
+        assert_eq!(samples_for(&records, &["offload."]), vec![(64, 10.0)]);
+    }
+
+    #[test]
+    fn aggregate_and_categories() {
+        let records = vec![
+            span("offload.put", 10.0, Some(64)),
+            span("offload.fetch", 20.0, Some(32)),
+            span("comm.inflight", 5.0, Some(16)),
+            span("kernel.attn.update", 40.0, None),
+        ];
+        let off = aggregate(&records, &["offload."]);
+        assert_eq!(off.count, 2);
+        assert!((off.total_us - 30.0).abs() < 1e-12);
+        assert_eq!(off.total_bytes, 96);
+
+        let cats = summarize_by_category(&records);
+        let names: Vec<&str> = cats.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["comm", "kernel", "offload"]);
+        assert_eq!(cats[2].1.count, 2);
+    }
+}

@@ -86,6 +86,33 @@ if ! grep -q '^RUNTIME_BF16_WIN_OK ' <<<"$out"; then
     exit 1
 fi
 
+echo "==> autotune --json --quick (calibrated planner must rank configs honestly)"
+out=$(cargo run -q --release -p fpdt-bench --bin autotune -- --json --quick)
+echo "$out"
+# The autotune bench fits the simulator's cost constants from a real
+# probe run, searches the knob grid, then measures every candidate and
+# grades the loop: predicted-vs-measured error <= 25% on EVERY config,
+# and the tuned config at least as fast as the default (within the
+# measurement noise floor).
+if ! grep -q '^BENCH_JSON_OK .*BENCH_autotune\.json$' <<<"$out"; then
+    echo "FAIL: autotune --json did not validate BENCH_autotune.json" >&2
+    exit 1
+fi
+if ! grep -q '^RUNTIME_AUTOTUNE_OK ' <<<"$out"; then
+    echo "FAIL: autotune gates did not pass (fidelity or tuned-vs-default)" >&2
+    exit 1
+fi
+
+echo "==> cargo test -q -p fpdt-core under the tuned configuration"
+# The tuner writes its pick as sourceable FPDT_* exports; the core test
+# suite must pass unchanged under exactly that configuration — tuning
+# may move schedules, never results.
+(
+    # shellcheck disable=SC1091
+    source target/experiments/autotune_env.sh
+    cargo test -q -p fpdt-core
+)
+
 echo "==> cargo test -q --workspace under FPDT_THREADS=1"
 # The whole suite must also pass with the kernel pool pinned to a single
 # thread (the sequential fast path) — same numbers, same results.
