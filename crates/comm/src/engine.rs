@@ -77,7 +77,14 @@ impl<T> Pending<T> {
 
     /// Whether the result is available without blocking.
     pub fn is_ready(&self) -> bool {
-        self.slot.value.lock().expect("pending slot").is_some()
+        // A poisoned slot means a waiter died mid-wait; the stored result
+        // (if any) is still valid, so recover the guard instead of
+        // cascading the panic onto this thread.
+        self.slot
+            .value
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 
     /// Blocks until the posted collective completes and returns its
@@ -89,23 +96,33 @@ impl<T> Pending<T> {
     ///
     /// Re-raises the job's panic, if it panicked on the stream.
     pub fn wait(self) -> T {
-        let mut value = self.slot.value.lock().expect("pending slot");
-        if value.is_none() {
-            let blocked = self
-                .recorder
-                .as_ref()
-                .map(|r| (r.clone(), r.now_us(), Instant::now()));
-            while value.is_none() {
-                value = self.slot.cv.wait(value).expect("pending slot");
+        // Lock poisoning (a sibling waiter dying with the guard held)
+        // must not take this rank down with it: recover the guard — the
+        // slot's contents are a plain `Option` and stay coherent.
+        let mut value = self.slot.value.lock().unwrap_or_else(|e| e.into_inner());
+        let mut blocked: Option<(Recorder, f64, Instant)> = None;
+        loop {
+            if let Some(out) = value.take() {
+                if let Some((rec, start_us, t0)) = blocked {
+                    let dur_us = t0.elapsed().as_secs_f64() * 1e6;
+                    rec.record("comm.wait", start_us, dur_us, Some(self.bytes));
+                }
+                return match out {
+                    Ok(v) => v,
+                    Err(panic) => resume_unwind(panic),
+                };
             }
-            if let Some((rec, start_us, t0)) = blocked {
-                let dur_us = t0.elapsed().as_secs_f64() * 1e6;
-                rec.record("comm.wait", start_us, dur_us, Some(self.bytes));
+            if blocked.is_none() {
+                blocked = self
+                    .recorder
+                    .as_ref()
+                    .map(|r| (r.clone(), r.now_us(), Instant::now()));
             }
-        }
-        match value.take().expect("just waited") {
-            Ok(v) => v,
-            Err(panic) => resume_unwind(panic),
+            value = self
+                .slot
+                .cv
+                .wait(value)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -132,15 +149,26 @@ impl CommEngine {
         let (sender, worker) = if r#async {
             let (tx, rx) = channel::<Job>();
             let wire = Arc::clone(&comm);
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("fpdt-comm-r{}", comm.rank()))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
                         job(&wire);
                     }
-                })
-                .expect("spawn comm stream worker");
-            (Some(tx), Some(handle))
+                });
+            match spawned {
+                Ok(handle) => (Some(tx), Some(handle)),
+                Err(e) => {
+                    // Thread exhaustion degrades the stream to the inline
+                    // path — slower, never wrong (same FIFO program order).
+                    eprintln!(
+                        "warning: comm stream worker for rank {} failed to spawn ({e}); \
+                         running collectives inline",
+                        comm.rank()
+                    );
+                    (None, None)
+                }
+            }
         } else {
             (None, None)
         };
@@ -215,7 +243,15 @@ impl CommEngine {
             done.cv.notify_all();
         };
         match &self.sender {
-            Some(tx) => tx.send(Box::new(run)).expect("comm stream worker alive"),
+            // A send only fails when the worker has exited (receiver
+            // dropped); the job comes back in the error, so fail over to
+            // the caller thread — later posts take the same path, which
+            // preserves FIFO program order.
+            Some(tx) => {
+                if let Err(returned) = tx.send(Box::new(run)) {
+                    (returned.0)(&self.comm);
+                }
+            }
             None => run(&self.comm),
         }
         Pending {

@@ -85,6 +85,7 @@ impl CommGroup {
                     senders: tx_row,
                     receivers: receivers[rank]
                         .iter_mut()
+                        // fpdt-lint: allow(unwrap-in-comm-path): construction invariant — the loop above fills every slot exactly once and nothing reads before this take
                         .map(|r| r.take().expect("each receiver taken once"))
                         .collect(),
                     barrier: Arc::clone(&barrier),
@@ -227,6 +228,7 @@ where
             .collect();
         handles
             .into_iter()
+            // fpdt-lint: allow(unwrap-in-comm-path): deliberate panic propagation — a rank death aborts the whole job, matching real collective semantics (see the doc comment)
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     })

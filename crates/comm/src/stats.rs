@@ -97,7 +97,7 @@ pub(crate) enum Direction {
 pub(crate) struct StatsCell {
     // first-use order kept separately so snapshots are deterministic
     order: Mutex<Vec<String>>,
-    ops: Mutex<HashMap<String, OpStats>>,
+    by_op: Mutex<HashMap<String, OpStats>>,
     recv_wait: Mutex<Duration>,
 }
 
@@ -108,12 +108,17 @@ impl StatsCell {
     /// so byte accounting cannot be bypassed by a new collective and bf16
     /// payloads show up at exactly half the f32 footprint.
     pub(crate) fn tally(&self, op: &str, dir: Direction, bytes: u64) {
-        let mut ops = self.ops.lock().expect("stats table");
-        if !ops.contains_key(op) {
-            self.order.lock().expect("stats order").push(op.to_string());
-            ops.insert(op.to_string(), OpStats::default());
-        }
-        let s = ops.get_mut(op).expect("just inserted");
+        // Counters stay valid across a panic elsewhere (each update below
+        // is complete before the guard drops), so a poisoned lock is
+        // recovered rather than cascading the failure into the comm path.
+        let mut by_op = self.by_op.lock().unwrap_or_else(|e| e.into_inner());
+        let s = by_op.entry(op.to_string()).or_insert_with(|| {
+            self.order
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(op.to_string());
+            OpStats::default()
+        });
         match dir {
             Direction::Sent => {
                 s.sends += 1;
@@ -129,18 +134,20 @@ impl StatsCell {
     /// Accumulates receive blocking time (kept apart from the
     /// deterministic counters).
     pub(crate) fn waited(&self, d: Duration) {
-        *self.recv_wait.lock().expect("wait total") += d;
+        *self.recv_wait.lock().unwrap_or_else(|e| e.into_inner()) += d;
     }
 
     pub(crate) fn snapshot(&self) -> CommStats {
-        let order = self.order.lock().expect("stats order");
-        let ops = self.ops.lock().expect("stats table");
+        let order = self.order.lock().unwrap_or_else(|e| e.into_inner());
+        let by_op = self.by_op.lock().unwrap_or_else(|e| e.into_inner());
         CommStats {
+            // `order` drives the snapshot (deterministic first-use order);
+            // the map is keyed lookup only — never iterated.
             ops: order
                 .iter()
-                .map(|name| (name.clone(), ops[name]))
+                .map(|name| (name.clone(), by_op.get(name).copied().unwrap_or_default()))
                 .collect(),
-            recv_wait: *self.recv_wait.lock().expect("wait total"),
+            recv_wait: *self.recv_wait.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 }

@@ -139,10 +139,9 @@ impl AttentionExec for LocalAttention {
 /// enables it. Results are bitwise identical either way — the knob only
 /// moves transfer cost off the critical path.
 pub fn prefetch_default() -> bool {
-    !matches!(
-        std::env::var("FPDT_PREFETCH").ok().as_deref(),
-        Some("0") | Some("false") | Some("off")
-    )
+    // Shares RuntimeOptions' flag syntax and env entry point — this module
+    // never reads `std::env` itself (`env-outside-options`).
+    super::options::env_flag("FPDT_PREFETCH", true)
 }
 
 /// Legacy offload knob pair for [`DistAttention`], kept as a thin view
@@ -467,7 +466,7 @@ impl AttentionExec for DistAttention {
         let mut o_handles: Vec<PendingTensor> = Vec::with_capacity(u);
         let mut next_qkv = Some(self.post_qkv(q, k, v, self.plan.local_chunk_range(0).start, c_loc)?);
         for i in 0..u {
-            let cur = next_qkv.take().expect("chunk i's QKV posted");
+            let cur = next_qkv.take().ok_or("chunk i's QKV was not posted")?;
             if i + 1 < u {
                 let range = self.plan.local_chunk_range(i + 1);
                 next_qkv = Some(self.post_qkv(q, k, v, range.start, c_loc)?);
@@ -489,7 +488,7 @@ impl AttentionExec for DistAttention {
                 None
             };
             for j in 0..i {
-                let cur = next.take().expect("KV chunk j prefetched");
+                let cur = next.take().ok_or("KV chunk j was not prefetched")?;
                 next = if j + 1 < i {
                     Some(self.fetch_kv(layer, j + 1, false)?)
                 } else {
@@ -541,7 +540,7 @@ impl AttentionExec for DistAttention {
         // row-dot runs — the same double-buffer shape as the forward.
         let mut next_dout = Some(self.post_fwd(dout.narrow(0, self.plan.local_chunk_range(0).start, c_loc)?)?);
         for i in 0..u {
-            let cur = next_dout.take().expect("chunk i's dO posted");
+            let cur = next_dout.take().ok_or("chunk i's dO was not posted")?;
             if i + 1 < u {
                 let range = self.plan.local_chunk_range(i + 1);
                 next_dout = Some(self.post_fwd(dout.narrow(0, range.start, c_loc)?)?);
@@ -575,7 +574,7 @@ impl AttentionExec for DistAttention {
         // whole sweep hides it.
         let mut next_kv = Some(self.fetch_kv(layer, 0, true)?);
         for j in 0..u {
-            let cur = next_kv.take().expect("KV chunk j prefetched");
+            let cur = next_kv.take().ok_or("KV chunk j was not prefetched")?;
             next_kv = if j + 1 < u {
                 Some(self.fetch_kv(layer, j + 1, true)?)
             } else {
@@ -731,8 +730,8 @@ impl AttentionExec for RingAttentionExec<'_> {
             st.update(&cur_k, &cur_v, &self.owner_positions(owner))?;
             if step + 1 < p {
                 let mut rot = self.rotate(vec![cur_k, cur_v])?;
-                cur_v = rot.pop().expect("v");
-                cur_k = rot.pop().expect("k");
+                cur_v = rot.pop().ok_or("ring rotate dropped v")?;
+                cur_k = rot.pop().ok_or("ring rotate dropped k")?;
             }
         }
         let (o, lse) = st.finalize();
@@ -784,10 +783,10 @@ impl AttentionExec for RingAttentionExec<'_> {
             // Rotate the block AND its accumulating gradients; after p hops
             // every (dk, dv) is home with contributions from all ranks.
             let mut rot = self.rotate(vec![cur_k, cur_v, cur_dk, cur_dv])?;
-            cur_dv = rot.pop().expect("dv");
-            cur_dk = rot.pop().expect("dk");
-            cur_v = rot.pop().expect("v");
-            cur_k = rot.pop().expect("k");
+            cur_dv = rot.pop().ok_or("ring rotate dropped dv")?;
+            cur_dk = rot.pop().ok_or("ring rotate dropped dk")?;
+            cur_v = rot.pop().ok_or("ring rotate dropped v")?;
+            cur_k = rot.pop().ok_or("ring rotate dropped k")?;
         }
         Ok((dq, cur_dk, cur_dv))
     }

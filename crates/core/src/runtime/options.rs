@@ -30,54 +30,20 @@ use super::exec::ExecOpts;
 
 /// Parses the shared flag syntax: unset means `default`; `0`, `false`,
 /// or `off` disable; any other value enables.
-fn env_flag(name: &str, default: bool) -> bool {
-    match std::env::var(name).ok().as_deref() {
-        None => default,
-        Some("0") | Some("false") | Some("off") => false,
-        Some(_) => true,
-    }
-}
-
-/// Strictly validates a count-valued knob: trimmed decimal, nonzero.
 ///
-/// Returns the reason a value is unusable so [`env_usize`] can warn —
-/// an operator who exports `FPDT_THREADS=eight` (or `=0`) should hear
-/// about the typo once instead of silently training on the default.
-fn parse_usize_strict(raw: &str) -> Result<usize, String> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err("value is empty".to_string());
-    }
-    match trimmed.parse::<usize>() {
-        Err(_) => Err(format!("`{trimmed}` is not a positive integer")),
-        Ok(0) => Err("`0` is not a usable value (must be >= 1)".to_string()),
-        Ok(v) => Ok(v),
-    }
+/// The actual `std::env` read lives in [`fpdt_tensor::env`] — the
+/// workspace's shared strict-parse primitives — so both layers accept
+/// exactly the same spellings. This module stays the one place *runtime*
+/// knobs are interpreted; `fpdt-lint`'s `env-outside-options` rule pins
+/// raw reads to the documented entry points.
+pub(crate) fn env_flag(name: &str, default: bool) -> bool {
+    fpdt_tensor::env::flag(name, default)
 }
 
-/// Warns about a malformed variable at most once per process.
-fn warn_once(name: &str, why: &str) {
-    use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock};
-    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
-    let mut warned = WARNED
-        .get_or_init(|| Mutex::new(HashSet::new()))
-        .lock()
-        .expect("env warning set");
-    if warned.insert(name.to_string()) {
-        eprintln!("warning: ignoring malformed {name} ({why}); using the default");
-    }
-}
-
+/// Reads a count-valued knob strictly (trimmed decimal `>= 1`), warning
+/// once and falling back to `None` on anything malformed.
 fn env_usize(name: &str) -> Option<usize> {
-    let raw = std::env::var(name).ok()?;
-    match parse_usize_strict(&raw) {
-        Ok(v) => Some(v),
-        Err(why) => {
-            warn_once(name, &why);
-            None
-        }
-    }
+    fpdt_tensor::env::usize_knob(name)
 }
 
 /// Every runtime knob, in one place, with a builder for overrides.
@@ -278,6 +244,9 @@ mod tests {
 
     #[test]
     fn strict_parse_rejects_empty_garbage_zero() {
+        // The runtime layer delegates to the shared kernel-layer parser;
+        // assert the delegated surface keeps the strict contract.
+        use fpdt_tensor::env::parse_usize_strict;
         assert!(parse_usize_strict("").is_err(), "empty");
         assert!(parse_usize_strict("   ").is_err(), "whitespace");
         assert!(parse_usize_strict("eight").is_err(), "garbage");

@@ -1,0 +1,142 @@
+//! The grandfathering mechanism: `lint-baseline.json` records findings
+//! that predate a rule (or are accepted debt), keyed by
+//! `(rule, file, excerpt)` — *not* line numbers, so unrelated edits above
+//! a baselined line don't invalidate it. The CI gate fails on any finding
+//! not absorbed by the baseline **and** on any baseline entry that no
+//! longer matches a finding (stale entries hide regressions and must be
+//! pruned — regenerate with `fpdt-lint --write-baseline`).
+
+use crate::Finding;
+use serde::Value;
+use std::path::Path;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Trimmed source line of the finding (line-number free anchor).
+    pub excerpt: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Every grandfathered entry, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline, a malformed one
+    /// is an error (CI must not silently treat garbage as "no baseline").
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default())
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the JSON document produced by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let Value::Object(top) = value else {
+            return Err("baseline root must be an object".to_string());
+        };
+        let findings = top
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .map(|(_, v)| v)
+            .ok_or("baseline is missing the \"findings\" array")?;
+        let Value::Array(items) = findings else {
+            return Err("\"findings\" must be an array".to_string());
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let Value::Object(fields) = item else {
+                return Err("each baseline finding must be an object".to_string());
+            };
+            let get = |name: &str| -> Result<String, String> {
+                match fields.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                    Some(Value::Str(s)) => Ok(s.clone()),
+                    _ => Err(format!("baseline finding is missing string field \"{name}\"")),
+                }
+            };
+            entries.push(BaselineEntry {
+                rule: get("rule")?,
+                file: get("file")?,
+                excerpt: get("excerpt")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// A baseline covering exactly `findings` (the `--write-baseline` path).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            entries: findings
+                .iter()
+                .map(|f| BaselineEntry {
+                    rule: f.rule.clone(),
+                    file: f.file.clone(),
+                    excerpt: f.excerpt.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the committed JSON document.
+    pub fn to_json(&self) -> String {
+        let items: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("rule".to_string(), Value::Str(e.rule.clone())),
+                    ("file".to_string(), Value::Str(e.file.clone())),
+                    ("excerpt".to_string(), Value::Str(e.excerpt.clone())),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("version".to_string(), Value::UInt(1)),
+            ("findings".to_string(), Value::Array(items)),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string()) + "\n"
+    }
+
+    /// Splits `findings` against the baseline: each entry absorbs at most
+    /// one matching finding. Returns `(new_findings, stale_entries)` —
+    /// both must be empty for the CI gate to pass.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<BaselineEntry>) {
+        let mut unused: Vec<&BaselineEntry> = self.entries.iter().collect();
+        let mut fresh = Vec::new();
+        for f in findings {
+            let hit = unused.iter().position(|e| {
+                e.rule == f.rule && e.file == f.file && e.excerpt == f.excerpt
+            });
+            match hit {
+                Some(i) => {
+                    unused.remove(i);
+                }
+                None => fresh.push(f),
+            }
+        }
+        (fresh, unused.into_iter().cloned().collect())
+    }
+}
+
+impl serde::Serialize for BaselineEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rule".to_string(), Value::Str(self.rule.clone())),
+            ("file".to_string(), Value::Str(self.file.clone())),
+            ("excerpt".to_string(), Value::Str(self.excerpt.clone())),
+        ])
+    }
+}

@@ -1,0 +1,29 @@
+//! The repo lints itself: running the full workspace scan from the test
+//! suite must produce zero findings beyond the committed baseline and
+//! leave no baseline entry stale. This is the same predicate the
+//! `LINT_OK` gate in `scripts/ci.sh` enforces, so `cargo test` catches a
+//! violation before CI does.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = fpdt_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 50, "scan found the workspace sources");
+
+    let baseline =
+        fpdt_lint::baseline::Baseline::load(&root.join("lint-baseline.json")).expect("baseline");
+    let (fresh, stale) = baseline.apply(report.findings);
+
+    let rendered: Vec<String> = fresh.iter().map(|f| f.render()).collect();
+    assert!(
+        fresh.is_empty(),
+        "new lint findings (fix or suppress with a reason):\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries (regenerate with `fpdt-lint --write-baseline`): {stale:?}"
+    );
+}

@@ -40,6 +40,7 @@
 
 mod error;
 pub mod bf16;
+pub mod env;
 pub mod init;
 pub mod mk;
 pub mod nn;

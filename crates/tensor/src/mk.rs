@@ -78,10 +78,11 @@ pub fn set_backend(b: Option<Backend>) -> Option<Backend> {
 fn default_backend() -> Backend {
     static DEFAULT: OnceLock<Backend> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        let forced_off = std::env::var("FPDT_SIMD")
-            .map(|v| matches!(v.trim(), "0" | "off" | "false" | "scalar"))
-            .unwrap_or(false);
-        if !forced_off && avx2_available() {
+        // `FPDT_SIMD` accepts `scalar` on top of the shared off spellings;
+        // the read itself goes through the crate's one env entry point.
+        let enabled =
+            crate::env::flag_with_off_values("FPDT_SIMD", true, &["0", "off", "false", "scalar"]);
+        if enabled && avx2_available() {
             Backend::Avx2
         } else {
             Backend::Scalar

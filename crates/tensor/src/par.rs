@@ -25,10 +25,9 @@ pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 16;
 fn threshold_cell() -> &'static AtomicUsize {
     static THRESHOLD: OnceLock<AtomicUsize> = OnceLock::new();
     THRESHOLD.get_or_init(|| {
-        let n = std::env::var("FPDT_PAR_THRESHOLD")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_PAR_THRESHOLD);
+        // Strict parse with a one-time warning on garbage — the shared
+        // discipline from `crate::env`, the crate's one env read point.
+        let n = crate::env::usize_knob("FPDT_PAR_THRESHOLD").unwrap_or(DEFAULT_PAR_THRESHOLD);
         AtomicUsize::new(n)
     })
 }

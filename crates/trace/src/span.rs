@@ -14,7 +14,6 @@
 //! ```
 
 use crate::json::{esc, num};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
@@ -38,7 +37,10 @@ pub struct SpanRecord {
 struct Inner {
     epoch: Instant,
     spans: Mutex<Vec<SpanRecord>>,
-    threads: Mutex<HashMap<ThreadId, u64>>,
+    // tid = position in first-record order. A map keyed by `ThreadId`
+    // would iterate in hash order somewhere eventually; a Vec has exactly
+    // one order, and `ThreadId` has no `Ord` to offer a BTreeMap anyway.
+    threads: Mutex<Vec<ThreadId>>,
 }
 
 /// A shared, thread-safe span sink. Cloning is cheap and clones record
@@ -61,7 +63,7 @@ impl Recorder {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
                 spans: Mutex::new(Vec::new()),
-                threads: Mutex::new(HashMap::new()),
+                threads: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -168,9 +170,15 @@ impl Recorder {
     }
 
     fn tid(&self) -> u64 {
+        let me = std::thread::current().id();
         let mut threads = self.inner.threads.lock().expect("thread table");
-        let next = threads.len() as u64;
-        *threads.entry(std::thread::current().id()).or_insert(next)
+        match threads.iter().position(|t| *t == me) {
+            Some(i) => i as u64,
+            None => {
+                threads.push(me);
+                (threads.len() - 1) as u64
+            }
+        }
     }
 }
 
@@ -361,6 +369,45 @@ mod tests {
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn chrome_trace_emission_is_deterministic() {
+        // The Chrome-trace document must be byte-identical for identical
+        // records: tid assignment is first-record order (not hash order),
+        // and every list in the renderer is explicitly ordered. This is
+        // the emission-side guard backing the golden schedule digests.
+        let render = || {
+            let rec = Recorder::new();
+            rec.record("comm.post", 0.0, 2.0, Some(8));
+            rec.record("kernel.attn.update", 2.0, 5.0, None);
+            rec.record("offload.fetch", 7.0, 1.5, Some(4096));
+            rec.chrome_trace_json()
+        };
+        let a = render();
+        assert_eq!(a, render(), "same records must render the same bytes");
+        // Record order is preserved verbatim in the event stream.
+        let (p1, p2) = (
+            a.find("comm.post").expect("first span present"),
+            a.find("offload.fetch").expect("last span present"),
+        );
+        assert!(p1 < p2, "events emit in record order");
+    }
+
+    #[test]
+    fn tids_assign_in_first_record_order() {
+        let rec = Recorder::new();
+        rec.record("main.first", 0.0, 1.0, None);
+        std::thread::scope(|s| {
+            s.spawn(|| rec.record("worker.second", 1.0, 1.0, None))
+                .join()
+                .expect("worker records");
+        });
+        rec.record("main.third", 2.0, 1.0, None);
+        let recs = rec.records();
+        assert_eq!(recs[0].tid, 0, "first recording thread gets tid 0");
+        assert_eq!(recs[1].tid, 1, "second thread gets the next tid");
+        assert_eq!(recs[2].tid, 0, "a thread keeps its tid on reuse");
     }
 
     #[test]

@@ -13,6 +13,17 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fpdt-lint (project invariants: determinism, env hygiene, fault tolerance)"
+# The static pass fails on any finding not absorbed by lint-baseline.json
+# and on any stale baseline entry; it prints one LINT_OK line when clean.
+# `|| true` so the findings echo before the grep gate fails the script.
+out=$(cargo run -q --release --bin fpdt-lint || true)
+echo "$out"
+if ! grep -q '^LINT_OK ' <<<"$out"; then
+    echo "FAIL: fpdt-lint found new violations or stale baseline entries" >&2
+    exit 1
+fi
+
 echo "==> figure11 --json smoke (BENCH_ artifacts must parse)"
 out=$(cargo run -q --release -p fpdt-bench --bin figure11 -- --json)
 echo "$out"

@@ -1,0 +1,123 @@
+//! `fpdt-lint` — run the project-invariant static analysis over the
+//! workspace and gate on the committed baseline.
+//!
+//! ```text
+//! fpdt-lint [--root <dir>] [--json] [--list-rules] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (modulo baseline), 1 new findings or stale
+//! baseline entries, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut list_rules = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "fpdt-lint [--root <dir>] [--json] [--list-rules] [--write-baseline]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for r in fpdt_lint::rules::RULES {
+            println!("{:<24} {}", r.name, r.what);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match fpdt_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fpdt-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join("lint-baseline.json");
+    if write_baseline {
+        let bl = fpdt_lint::baseline::Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(&baseline_path, bl.to_json()) {
+            eprintln!("fpdt-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} grandfathered findings)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fpdt_lint::baseline::Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("fpdt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baselined = baseline.entries.len();
+    let (fresh, stale) = baseline.apply(report.findings.clone());
+
+    if json {
+        println!(
+            "{}",
+            fpdt_lint::report_json(&report, &fresh, &stale, baselined)
+        );
+    } else {
+        for f in &fresh {
+            println!("{}", f.render());
+        }
+        for e in &stale {
+            println!(
+                "stale baseline entry [{}] {} — finding no longer fires; regenerate with --write-baseline",
+                e.rule, e.file
+            );
+        }
+    }
+
+    if fresh.is_empty() && stale.is_empty() {
+        if !json {
+            println!(
+                "LINT_OK files={} rules={} baselined={}",
+                report.files_scanned,
+                fpdt_lint::rules::RULES.len(),
+                baselined
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!(
+                "fpdt-lint: {} new finding(s), {} stale baseline entr(ies)",
+                fresh.len(),
+                stale.len()
+            );
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("fpdt-lint: {why}");
+    eprintln!("usage: fpdt-lint [--root <dir>] [--json] [--list-rules] [--write-baseline]");
+    ExitCode::from(2)
+}
