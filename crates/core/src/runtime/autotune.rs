@@ -132,6 +132,13 @@ pub struct CellProfile {
     /// anchor does not transfer to a 4-chunk pipeline. The bf16 cell
     /// shares its chunk count's f32 anchor.
     pub overlap_efficiency: f64,
+    /// The same anchor measured with the balanced tile schedule on.
+    /// Anchored separately because the balanced runtime's equal slots
+    /// and eager posting typically deliver a larger fraction of the
+    /// ideal saving — pricing balanced candidates with the sequential
+    /// anchor systematically overestimates their step time and makes
+    /// the tuner mis-rank the schedule knob.
+    pub balanced_overlap_efficiency: f64,
 }
 
 /// A fitted cost model plus the per-cell workload profiles it was fitted
@@ -172,6 +179,8 @@ pub struct CandidateConfig {
     pub prefetch: bool,
     /// Asynchronous comm stream on/off.
     pub comm_async: bool,
+    /// Causal load-balanced tile schedule on/off.
+    pub balanced: bool,
     /// bf16 wire payloads on/off.
     pub payload_bf16: bool,
     /// Kernel-pool thread budget.
@@ -186,6 +195,7 @@ impl CandidateConfig {
             .with_offload(true)
             .with_prefetch(self.prefetch)
             .with_comm_async(self.comm_async)
+            .with_balanced(self.balanced)
             .with_payload_bf16(self.payload_bf16)
             .with_threads(self.threads)
     }
@@ -222,11 +232,15 @@ fn attn_flops(model: &ModelConfig, seq: usize) -> f64 {
     3.5 * model.layers as f64 * (seq as f64) * (seq as f64) * model.hidden as f64
 }
 
-/// One probe training run at the given knobs, median-of-3. A single
-/// run's wall time can swing by 10-20% on a shared host, and any probe
-/// bias propagates into every prediction built on it; the returned
-/// recorder belongs to the median-duration run so its spans stay
-/// internally consistent with the reported wall time.
+/// One probe training run at the given knobs, fastest-of-3. Neighbor
+/// load on a shared host is strictly additive — a burst only ever slows
+/// a run — so the fastest of three is the cleanest estimate of the
+/// unloaded step the fitted model should predict (a median still
+/// carries whatever load the middle run saw, and any probe bias
+/// propagates into every prediction built on it; the overlap anchors
+/// are *differences* of two probes, where one inflated side flips the
+/// fitted efficiency). The returned recorder belongs to the fastest run
+/// so its spans stay internally consistent with the reported wall time.
 fn probe_run(
     workload: &Workload,
     steps: usize,
@@ -234,6 +248,7 @@ fn probe_run(
     bf16: bool,
     prefetch: bool,
     comm_async: bool,
+    balanced: bool,
 ) -> (f64, Recorder) {
     let cfg = TrainConfig {
         model: workload.model.clone(),
@@ -246,9 +261,14 @@ fn probe_run(
             chunks,
             offload: true,
         },
+        // Serial probes pin balanced off (with both streams off the
+        // schedules carry identical additive costs, so the sequential
+        // one is the canonical decomposition); the dual-stream anchor
+        // probes run each schedule for real.
         runtime: RuntimeOptions::from_env()
             .with_prefetch(prefetch)
             .with_comm_async(comm_async)
+            .with_balanced(balanced)
             .with_payload_bf16(bf16),
         ..TrainConfig::default()
     };
@@ -261,7 +281,7 @@ fn probe_run(
         })
         .collect();
     runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-    runs.swap_remove(1)
+    runs.swap_remove(0)
 }
 
 /// Runs the serial probes and fits the cost model.
@@ -269,9 +289,10 @@ fn probe_run(
 /// One short training run per `(chunk candidate × bf16 setting)` cell
 /// with both streams off, so step time decomposes additively into copy,
 /// comm, attention, and residual ("lump") time. Rates are fitted over
-/// the f32 cells' combined span clouds; one extra *dual-stream* probe
-/// anchors [`Calibration::overlap_efficiency`]; thread candidates are
-/// priced with a matmul microprobe instead of extra training runs.
+/// the f32 cells' combined span clouds; two extra *dual-stream* probes
+/// per chunk candidate (one per tile schedule) anchor the per-cell
+/// overlap efficiencies; thread candidates are priced with a matmul
+/// microprobe instead of extra training runs.
 ///
 /// # Panics
 ///
@@ -291,7 +312,7 @@ pub fn calibrate(workload: &Workload) -> Calibration {
     };
     for &chunks in &workload.chunk_candidates {
         for &bf16 in bf16_settings {
-            let (wall_us, rec) = probe_run(workload, steps, chunks, bf16, false, false);
+            let (wall_us, rec) = probe_run(workload, steps, chunks, bf16, false, false, false);
             let records = rec.records();
             let per_step = 1.0 / steps as f64;
             let copy = fpdt_trace::fit::aggregate(&records, COPY_PREFIXES);
@@ -316,6 +337,7 @@ pub fn calibrate(workload: &Workload) -> Calibration {
                 attn_us,
                 lump_us: (step_us - copy_us - comm_us - attn_us).max(0.0),
                 overlap_efficiency: 1.0,
+                balanced_overlap_efficiency: 1.0,
             });
             if !bf16 {
                 copy_samples.extend(samples_for(&records, COPY_PREFIXES));
@@ -384,34 +406,56 @@ pub fn calibrate(workload: &Workload) -> Calibration {
     }
 
     // Overlap anchors: one dual-stream f32 probe PER chunk candidate
-    // measures how much of the engine's ideal saving the real streams
-    // deliver at that stage granularity (a 2-chunk pipeline's hand-off
-    // losses say nothing about a 4-chunk one's). Serial predictions are
-    // unaffected (zero ideal saving); each async prediction interpolates
-    // by its own cell's factor; the bf16 cell shares its chunk count's
-    // f32 anchor.
+    // AND PER tile schedule measures how much of the engine's ideal
+    // saving the real streams deliver at that stage granularity (a
+    // 2-chunk pipeline's hand-off losses say nothing about a 4-chunk
+    // one's, and the balanced schedule's equal slots deliver a
+    // different fraction than the sequential ramp). Serial predictions
+    // are unaffected (zero ideal saving); each async prediction
+    // interpolates by its own cell's matching-schedule factor; the
+    // bf16 cell shares its chunk count's f32 anchors.
     for &anchor_chunks in &workload.chunk_candidates {
         let anchor_cell = cells
             .iter()
             .find(|c| c.chunks == anchor_chunks && !c.payload_bf16)
             .cloned();
         let Some(cell) = anchor_cell else { continue };
-        let serial_pred = plan_for(&constants, &cell, false, false, 1.0)
+        let serial_pred = plan_for(&constants, &cell, false, false, false, 1.0)
             .makespan(&constants)
             .expect("serial anchor plan prices")
             * 1e6;
-        let dual_pred = plan_for(&constants, &cell, true, true, 1.0)
-            .makespan(&constants)
-            .expect("dual anchor plan prices")
-            * 1e6;
-        let ideal_saving = serial_pred - dual_pred;
-        if ideal_saving > 1.0 {
-            let (dual_wall_us, _) =
-                probe_run(workload, steps, anchor_chunks, false, true, true);
-            let actual_saving = (cell.step_us - dual_wall_us / steps as f64).max(0.0);
-            let efficiency = (actual_saving / ideal_saving).clamp(0.0, 1.0);
-            for c in cells.iter_mut().filter(|c| c.chunks == anchor_chunks) {
-                c.overlap_efficiency = efficiency;
+        // The efficiency is a *difference* of two wall times — the one
+        // statistic with no tolerance for cross-epoch drift — so pair
+        // the dual probes with a FRESH serial probe adjacent in time
+        // instead of the cell profile measured an epoch earlier: a
+        // host-load shift between the epochs would masquerade as
+        // overlap (in)efficiency.
+        let (serial_wall_us, _) =
+            probe_run(workload, steps, anchor_chunks, false, false, false, false);
+        let serial_step_us = serial_wall_us / steps as f64;
+        for balanced in [false, true] {
+            let dual_pred = plan_for(&constants, &cell, true, true, balanced, 1.0)
+                .makespan(&constants)
+                .expect("dual anchor plan prices")
+                * 1e6;
+            let ideal_saving = serial_pred - dual_pred;
+            if ideal_saving > 1.0 {
+                let (dual_wall_us, _) =
+                    probe_run(workload, steps, anchor_chunks, false, true, true, balanced);
+                let actual_saving = (serial_step_us - dual_wall_us / steps as f64).max(0.0);
+                let efficiency = (actual_saving / ideal_saving).clamp(0.0, 1.0);
+                for c in cells.iter_mut().filter(|c| c.chunks == anchor_chunks) {
+                    if balanced {
+                        // Floored at the sequential anchor: equal slots
+                        // + eager posting cannot deliver *less* overlap
+                        // than the sequential ramp (the runtime bench
+                        // gates that), so a lower reading is a host-load
+                        // burst landing on this probe, not a signal.
+                        c.balanced_overlap_efficiency = efficiency.max(c.overlap_efficiency);
+                    } else {
+                        c.overlap_efficiency = efficiency;
+                    }
+                }
             }
         }
     }
@@ -454,48 +498,89 @@ fn matmul_probe_us(threads: usize) -> f64 {
 }
 
 /// Builds the step plan of one candidate from its measured cell profile:
-/// `2 × chunks` pipeline stages, each with an eager (double-buffered)
-/// copy op, an eager comm op, and a kernel + residual compute pair that
-/// waits on its stage's transfers.
+/// `2 × chunks` pipeline stages — forward chunks then Figure-7 backward
+/// columns — each with a copy op, a comm op, and a kernel + residual
+/// compute pair that waits on its stage's transfers.
+///
+/// Per-stage transfer and kernel sizes follow the causal triangle rather
+/// than a flat mean: forward chunk `i` keep-fetches a *growing* KV
+/// prefix (weight `5 + 2i` pool ops) and computes `i + 1` tiles, while
+/// backward column `j` drains a *shrinking* sweep (weight
+/// `6 + 6(u - j)`, kernels `2.5 (u - j)` tiles). The weights are
+/// normalized against the measured per-step totals, so the serial plan
+/// still reproduces the probe exactly — only the per-stage distribution
+/// (what double buffering can or cannot hide at each slot) changes.
+///
+/// With `balanced` the backward stages flatten to their mean — the
+/// quota-spilled tile schedule's near-equal slots — and the lookahead
+/// dependency disappears: the balanced runtime posts every gather and
+/// take-fetch up-front instead of one stage ahead.
 pub fn plan_for(
     constants: &CostConstants,
     cell: &CellProfile,
     prefetch: bool,
     comm_async: bool,
+    balanced: bool,
     compute_scale: f64,
 ) -> StepPlan {
     let c = constants;
-    let stages = (2 * cell.chunks).max(1);
+    let u = cell.chunks.max(1);
+    let stages = 2 * u;
     let inv = 1.0 / stages as f64;
+
+    // Triangular per-stage weights (forward rising, backward falling).
+    let mut copy_w: Vec<f64> = Vec::with_capacity(stages);
+    let mut attn_w: Vec<f64> = Vec::with_capacity(stages);
+    for i in 0..u {
+        copy_w.push((5 + 2 * i) as f64);
+        attn_w.push((i + 1) as f64);
+    }
+    for j in 0..u {
+        copy_w.push((6 + 6 * (u - j)) as f64);
+        attn_w.push(2.5 * (u - j) as f64);
+    }
+    if balanced {
+        // The balanced schedule equalizes the backward slots (the forward
+        // triangle stays arrival-constrained by each chunk's own QKV, so
+        // its compute distribution cannot move).
+        let flatten = |w: &mut [f64]| {
+            let mean = w.iter().sum::<f64>() / w.len() as f64;
+            w.iter_mut().for_each(|x| *x = mean);
+        };
+        flatten(&mut copy_w[u..]);
+        flatten(&mut attn_w[u..]);
+    }
+    let copy_w_sum: f64 = copy_w.iter().sum();
+    let attn_w_sum: f64 = attn_w.iter().sum();
+
     // Measured stream time re-expressed as engine bytes at the fitted
     // rates, so the priced serial plan reproduces the probe exactly and
     // the async plan differs only by what the streams hide.
-    let copy_bytes_per_stage = (cell.copy_us * inv * 1e-6 * c.pcie_bw) as u64;
+    let copy_bytes_total = cell.copy_us * 1e-6 * c.pcie_bw;
     let comm_bytes_per_stage = (cell.comm_us * inv * 1e-6 * c.nvlink_bw) as u64;
-    let attn_flops_per_stage =
-        cell.attn_us * inv * 1e-6 * c.attention_flops * compute_scale;
+    let attn_flops_total = cell.attn_us * 1e-6 * c.attention_flops * compute_scale;
     let lump_per_stage = cell.lump_us * inv * 1e-6 * compute_scale;
 
     let mut plan = StepPlan::new(prefetch, comm_async);
     let mut attn_ids: Vec<usize> = Vec::new();
     for stage in 0..stages {
-        // Double-buffer lookahead of one: the runtime posts stage `i`'s
-        // transfers while stage `i-1` computes, never all at t=0, so a
-        // stage's transfers wait on the kernel two stages back. This
-        // bounds predicted overlap at what Figure-13 double buffering
-        // can actually deliver.
-        let buffer_dep: Vec<usize> = if stage >= 2 {
-            vec![attn_ids[stage - 2]]
-        } else {
+        // Double-buffer lookahead of one: the sequential runtime posts
+        // stage `i`'s transfers while stage `i-1` computes, never all at
+        // t=0, so a stage's transfers wait on the kernel two stages back.
+        // This bounds predicted overlap at what Figure-13 double
+        // buffering can actually deliver. The balanced schedule's eager
+        // posting removes the constraint entirely.
+        let buffer_dep: Vec<usize> = if balanced || stage < 2 {
             Vec::new()
+        } else {
+            vec![attn_ids[stage - 2]]
         };
+        let copy_bytes = (copy_bytes_total * copy_w[stage] / copy_w_sum) as u64;
         let mut deps = Vec::new();
-        if copy_bytes_per_stage > 0 {
+        if copy_bytes > 0 {
             deps.push(plan.push(
                 "offload",
-                PlannedWork::Copy {
-                    bytes: copy_bytes_per_stage,
-                },
+                PlannedWork::Copy { bytes: copy_bytes },
                 &buffer_dep,
             ));
         }
@@ -511,7 +596,7 @@ pub fn plan_for(
         let attn = plan.push(
             "attn",
             PlannedWork::Kernel {
-                flops: attn_flops_per_stage,
+                flops: attn_flops_total * attn_w[stage] / attn_w_sum,
             },
             &deps,
         );
@@ -546,17 +631,33 @@ pub fn predict_step_us(calibration: &Calibration, config: &CandidateConfig) -> f
         .find(|(t, _)| *t == config.threads)
         .map(|(_, s)| *s)
         .expect("candidate thread budget was microprobed");
-    let price = |prefetch: bool, comm_async: bool| {
-        plan_for(&calibration.constants, cell, prefetch, comm_async, compute_scale)
-            .makespan(&calibration.constants)
-            .expect("plan prices")
-            * 1e6
+    let price = |prefetch: bool, comm_async: bool, balanced: bool| {
+        plan_for(
+            &calibration.constants,
+            cell,
+            prefetch,
+            comm_async,
+            balanced,
+            compute_scale,
+        )
+        .makespan(&calibration.constants)
+        .expect("plan prices")
+        * 1e6
     };
     // The engine's saving over fully-serial is *ideal* overlap; scale it
-    // by the cell's own anchor-measured efficiency before claiming it.
-    let serial = price(false, false);
-    let gated = price(config.prefetch, config.comm_async);
-    serial - cell.overlap_efficiency * (serial - gated)
+    // by the cell's anchor-measured efficiency for the candidate's own
+    // tile schedule before claiming it. The serial baseline is
+    // schedule-invariant (the balanced topology moves work between
+    // stages, never changes the total), so it is always priced
+    // sequential.
+    let serial = price(false, false, false);
+    let gated = price(config.prefetch, config.comm_async, config.balanced);
+    let efficiency = if config.balanced {
+        cell.balanced_overlap_efficiency
+    } else {
+        cell.overlap_efficiency
+    };
+    serial - efficiency * (serial - gated)
 }
 
 /// Prices every point of the workload's candidate grid and returns them
@@ -575,20 +676,23 @@ pub fn search(calibration: &Calibration, workload: &Workload) -> (Vec<Evaluated>
     let mut evaluated = Vec::new();
     for &chunks in &workload.chunk_candidates {
         for &payload_bf16 in bf16_settings {
-            for prefetch in [false, true] {
-                for comm_async in [false, true] {
-                    for &threads in &thread_candidates {
-                        let config = CandidateConfig {
-                            chunks,
-                            prefetch,
-                            comm_async,
-                            payload_bf16,
-                            threads,
-                        };
-                        evaluated.push(Evaluated {
-                            config,
-                            predicted_step_us: predict_step_us(calibration, &config),
-                        });
+            for balanced in [false, true] {
+                for prefetch in [false, true] {
+                    for comm_async in [false, true] {
+                        for &threads in &thread_candidates {
+                            let config = CandidateConfig {
+                                chunks,
+                                prefetch,
+                                comm_async,
+                                balanced,
+                                payload_bf16,
+                                threads,
+                            };
+                            evaluated.push(Evaluated {
+                                config,
+                                predicted_step_us: predict_step_us(calibration, &config),
+                            });
+                        }
                     }
                 }
             }
@@ -655,6 +759,20 @@ impl Calibration {
                             "cell overlap_efficiency must be within [0, 1]".to_string()
                         );
                     }
+                    // Pre-balanced calibration files lack the second
+                    // anchor; fall back to the sequential one.
+                    let balanced_overlap_efficiency =
+                        match get(cell, "balanced_overlap_efficiency") {
+                            Ok(v) => {
+                                let x = num(v, "balanced_overlap_efficiency")?;
+                                if !(0.0..=1.0).contains(&x) {
+                                    return Err("cell balanced_overlap_efficiency must be within [0, 1]"
+                                        .to_string());
+                                }
+                                x
+                            }
+                            Err(_) => overlap_efficiency,
+                        };
                     Ok(CellProfile {
                         chunks: num(get(cell, "chunks")?, "chunks")? as usize,
                         payload_bf16: matches!(get(cell, "payload_bf16")?, Value::Bool(true)),
@@ -668,6 +786,7 @@ impl Calibration {
                         attn_us: num(get(cell, "attn_us")?, "attn_us")?,
                         lump_us: num(get(cell, "lump_us")?, "lump_us")?,
                         overlap_efficiency,
+                        balanced_overlap_efficiency,
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?,
@@ -754,6 +873,7 @@ mod tests {
                     attn_us: 2000.0,
                     lump_us: 500.0,
                     overlap_efficiency: 1.0,
+                    balanced_overlap_efficiency: 1.0,
                 },
                 CellProfile {
                     chunks: 4,
@@ -768,6 +888,7 @@ mod tests {
                     attn_us: 2000.0,
                     lump_us: 500.0,
                     overlap_efficiency: 1.0,
+                    balanced_overlap_efficiency: 1.0,
                 },
             ],
         }
@@ -780,6 +901,7 @@ mod tests {
             chunks: 4,
             prefetch: false,
             comm_async: false,
+            balanced: false,
             payload_bf16: false,
             threads: 4,
         };
@@ -806,8 +928,8 @@ mod tests {
         workload.chunk_candidates = vec![4];
         workload.allow_bf16 = true;
         let (evaluated, best) = search(&cal, &workload);
-        // 4 chunks × 2 bf16 × 2 × 2 streams × 2 thread candidates.
-        assert_eq!(evaluated.len(), 16);
+        // 4 chunks × 2 bf16 × 2 balanced × 2 × 2 streams × 2 threads.
+        assert_eq!(evaluated.len(), 32);
         assert!(best.config.prefetch && best.config.comm_async);
         assert!(best.config.payload_bf16);
         assert_eq!(best.config.threads, 4, "slower 1-thread rate rejected");
@@ -825,11 +947,52 @@ mod tests {
             chunks: 4,
             prefetch: false,
             comm_async: false,
+            balanced: false,
             payload_bf16: false,
             threads: 4,
         };
         let slow = CandidateConfig { threads: 1, ..base };
         assert!(predict_step_us(&cal, &slow) > predict_step_us(&cal, &base));
+    }
+
+    #[test]
+    fn balanced_schedule_prices_no_slower_and_preserves_serial_totals() {
+        let cal = synthetic_calibration();
+        let seq_dual = CandidateConfig {
+            chunks: 4,
+            prefetch: true,
+            comm_async: true,
+            balanced: false,
+            payload_bf16: false,
+            threads: 4,
+        };
+        let bal_dual = CandidateConfig {
+            balanced: true,
+            ..seq_dual
+        };
+        let t_seq = predict_step_us(&cal, &seq_dual);
+        let t_bal = predict_step_us(&cal, &bal_dual);
+        assert!(
+            t_bal <= t_seq,
+            "equal slots + eager posting must not price slower: {t_bal} vs {t_seq}"
+        );
+        // With both streams off the topologies carry identical total
+        // work, so the predictions collapse to the same serial sum.
+        let seq_off = CandidateConfig {
+            prefetch: false,
+            comm_async: false,
+            ..seq_dual
+        };
+        let bal_off = CandidateConfig {
+            balanced: true,
+            ..seq_off
+        };
+        let off_seq = predict_step_us(&cal, &seq_off);
+        let off_bal = predict_step_us(&cal, &bal_off);
+        assert!(
+            (off_seq - off_bal).abs() < 1.0,
+            "serial totals are schedule-invariant: {off_seq} vs {off_bal}"
+        );
     }
 
     #[test]
@@ -841,6 +1004,7 @@ mod tests {
         assert_eq!(back.thread_rates, cal.thread_rates);
         assert!((back.overlap_efficiency - cal.overlap_efficiency).abs() < 1e-12);
         assert!((back.cells[0].overlap_efficiency - 1.0).abs() < 1e-12);
+        assert!((back.cells[0].balanced_overlap_efficiency - 1.0).abs() < 1e-12);
         assert!(back.cells[1].payload_bf16);
         assert!((back.cells[0].step_us - cal.cells[0].step_us).abs() < 1e-9);
         assert!(Calibration::from_json("{}").is_err());
@@ -858,7 +1022,11 @@ mod tests {
         let eff = outcome.calibration.overlap_efficiency;
         assert!((0.0..=1.0).contains(&eff), "efficiency {eff} out of range");
         assert_eq!(outcome.calibration.cells.len(), 1);
-        assert_eq!(outcome.evaluated.len(), 4, "1 chunk × 2×2 streams");
+        assert_eq!(
+            outcome.evaluated.len(),
+            8,
+            "1 chunk × 2 balanced × 2×2 streams"
+        );
         assert!(outcome
             .evaluated
             .iter()

@@ -20,7 +20,7 @@ use fpdt_attention::{chunked, default_scale};
 use fpdt_comm::{AllToAllLayout, CommEngine, Communicator, Pending};
 use fpdt_tensor::Tensor;
 use fpdt_trace::{Recorder, Span};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Executor result type (tensor and communication errors both occur).
@@ -187,6 +187,15 @@ type PendingQkv = Pending<ExecResult<(Tensor, Tensor, Tensor)>>;
 /// [`Pending`] handles resolved only when the caller concatenates. With
 /// `comm_async` off every post executes inline at the same program point,
 /// so the wire order — and therefore every statistic — is identical.
+///
+/// With `balanced` on (`FPDT_BALANCE`, the default) the causal tile
+/// triangle is re-cut so every pipeline slot carries near-equal work:
+/// the forward posts all fused QKV ops up-front and carries each chunk's
+/// first KV fetch into the previous chunk's slot, and the backward walks
+/// [`balanced_slots`] instead of the row-by-row Figure-7 nest. Every
+/// per-index accumulation order — and every pool/comm operation count —
+/// is preserved, so results and statistics stay bitwise identical to the
+/// sequential schedule.
 pub struct DistAttention {
     comm: Arc<Communicator>,
     plan: ChunkPlan,
@@ -419,6 +428,164 @@ impl DistAttention {
             }
         }))
     }
+
+    /// The causal load-balanced backward (`FPDT_BALANCE`): the Figure-7
+    /// tile triangle re-cut into `u` near-equal slots while every
+    /// accumulator keeps its sequential update order.
+    ///
+    /// Three moves equalize the slots without touching numerics:
+    ///
+    /// * the per-chunk `dO` gathers and row-dot staging — a fully exposed
+    ///   serial drain in the sequential schedule — fuse into each query
+    ///   chunk's first tile, hidden behind other chunks' tiles;
+    /// * every KV chunk's take-fetch is issued up-front on the copy
+    ///   stream (the keys are distinct, so no chunk is ever fetched
+    ///   twice while in flight);
+    /// * tiles walk the triangle column-major — KV chunk `j`'s column in
+    ///   ascending query order — with [`balanced_slots`] spilling the
+    ///   long early columns into the short late slots.
+    ///
+    /// `dq_i` still accumulates its tiles in ascending `j` and
+    /// `dk_j`/`dv_j` theirs in ascending `i` — the same floating-point
+    /// order as the sequential nest, hence bitwise-identical gradients.
+    /// Every pool/comm operation runs exactly once with the same key, so
+    /// [`PoolStats`] and the comm counters are identical too.
+    fn backward_balanced(
+        &mut self,
+        layer: usize,
+        dout: &Tensor,
+    ) -> ExecResult<(Tensor, Tensor, Tensor)> {
+        let u = self.plan.chunks;
+        let c_loc = self.plan.chunk_local_len();
+        let scale = default_scale(dout.shape()[2]);
+
+        // Post every dO gather before any tile computes: most rows open
+        // in slot 0 (the balanced schedule front-loads first-column
+        // tiles) and the comm stream drains behind the whole triangle.
+        // KV take-fetches stay staggered — column `s+1`'s pair goes on
+        // the copy stream at the start of slot `s`, one slot before the
+        // column can open — so the per-tile host-pool grabs never queue
+        // behind the entire triangle's KV bytes on the FIFO stream.
+        let mut dout_pending: Vec<Option<PendingTensor>> = Vec::with_capacity(u);
+        for i in 0..u {
+            let range = self.plan.local_chunk_range(i);
+            dout_pending.push(Some(self.post_fwd(dout.narrow(0, range.start, c_loc)?)?));
+        }
+        let mut kv_pending: Vec<Option<(FetchHandle, FetchHandle)>> = (0..u).map(|_| None).collect();
+        kv_pending[0] = Some(self.fetch_kv(layer, 0, true)?);
+
+        // One KV column's live state: the resident chunk pair and its
+        // gradient accumulators (updated in ascending query order).
+        struct Col {
+            k: Arc<Tensor>,
+            v: Arc<Tensor>,
+            gpos: Vec<usize>,
+            dk: Tensor,
+            dv: Tensor,
+        }
+        let mut cols: Vec<Option<Col>> = (0..u).map(|_| None).collect();
+        let mut dq_handles: Vec<Option<PendingTensor>> = (0..u).map(|_| None).collect();
+        let mut dk_handles: Vec<Option<PendingTensor>> = (0..u).map(|_| None).collect();
+        let mut dv_handles: Vec<Option<PendingTensor>> = (0..u).map(|_| None).collect();
+
+        for (s, slot) in balanced_slots(u).into_iter().enumerate() {
+            let _slot = self.span("slot.bwd", 0);
+            if s + 1 < u && cols[s + 1].is_none() && kv_pending[s + 1].is_none() {
+                kv_pending[s + 1] = Some(self.fetch_kv(layer, s + 1, true)?);
+            }
+            for (i, j) in slot {
+                if j == 0 {
+                    // First tile of query chunk i: stage its row inputs —
+                    // the sequential schedule's stage-1 body, verbatim,
+                    // now lazily fused into the tile sweep.
+                    let pending = dout_pending[i].take().ok_or("chunk i's dO was not posted")?;
+                    let doh = Arc::new(pending.wait()?);
+                    let oi = self.keep(ChunkKey::new(layer, BufKind::O, i))?;
+                    let dsum = {
+                        let _s = self.span("kernel.attn.rowwise_dot", oi.data().len());
+                        rowwise_dot(&oi, &doh)?
+                    };
+                    let n = dsum.len();
+                    let zeros = Tensor::zeros(doh.shape());
+                    self.put(ChunkKey::new(layer, BufKind::DOut, i), doh);
+                    self.put(
+                        ChunkKey::new(layer, BufKind::Dsum, i),
+                        Arc::new(Tensor::from_vec(dsum, &[n])?),
+                    );
+                    self.put(ChunkKey::new(layer, BufKind::DQ, i), Arc::new(zeros));
+                }
+                if cols[j].is_none() {
+                    // First tile of KV column j (its diagonal): land the
+                    // chunk and zero its gradient accumulators.
+                    let (kh, vh) = kv_pending[j].take().ok_or("KV chunk j was not prefetched")?;
+                    let (kj, vj) = (kh.wait(), vh.wait());
+                    let dk = Tensor::zeros(kj.shape());
+                    let dv = Tensor::zeros(vj.shape());
+                    cols[j] = Some(Col {
+                        gpos: self.plan.gathered_positions(j),
+                        k: kj,
+                        v: vj,
+                        dk,
+                        dv,
+                    });
+                }
+                // The tile body is the sequential inner loop's, unchanged:
+                // chunk i's saved state is consumed on its diagonal tile.
+                let consume = i == j;
+                let qi = self.grab(ChunkKey::new(layer, BufKind::Q, i), consume)?;
+                let doh = self.grab(ChunkKey::new(layer, BufKind::DOut, i), consume)?;
+                let lse = self.grab(ChunkKey::new(layer, BufKind::Lse, i), consume)?;
+                let dsum = self.grab(ChunkKey::new(layer, BufKind::Dsum, i), consume)?;
+                if consume {
+                    self.discard_one(ChunkKey::new(layer, BufKind::O, i));
+                }
+                let mut dq_i = unshare(self.take(ChunkKey::new(layer, BufKind::DQ, i))?);
+                let gpos_i = self.plan.gathered_positions(i);
+                // Closed before the DQ re-put / gradient posts below —
+                // transfers must not nest inside compute spans or the
+                // overlap metric counts a serial runtime as overlapped.
+                let tile = self.span("attn.bwd.tile", qi.data().len());
+                let col = cols[j].as_mut().ok_or("KV column j was not staged")?;
+                attention_block_bwd(
+                    &qi,
+                    &col.k,
+                    &col.v,
+                    &doh,
+                    lse.data(),
+                    dsum.data(),
+                    &gpos_i,
+                    &col.gpos,
+                    scale,
+                    &mut dq_i,
+                    &mut col.dk,
+                    &mut col.dv,
+                )?;
+                drop(tile);
+                if consume {
+                    // The diagonal is row i's last tile: dq_i is final.
+                    dq_handles[i] = Some(self.post_inv(Arc::new(dq_i))?);
+                } else {
+                    self.put(ChunkKey::new(layer, BufKind::DQ, i), Arc::new(dq_i));
+                }
+                if i + 1 == u {
+                    // (u-1, j) is column j's last tile: dK_j/dV_j final.
+                    let done = cols[j].take().ok_or("KV column j was not staged")?;
+                    dk_handles[j] = Some(self.post_inv(Arc::new(done.dk))?);
+                    dv_handles[j] = Some(self.post_inv(Arc::new(done.dv))?);
+                }
+            }
+        }
+
+        let cat = |handles: Vec<Option<PendingTensor>>| -> ExecResult<Tensor> {
+            let mut parts = Vec::with_capacity(handles.len());
+            for h in handles {
+                parts.push(h.ok_or("gradient chunk was never finalized")?.wait()?);
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Ok(Tensor::concat(&refs, 0)?)
+        };
+        Ok((cat(dq_handles)?, cat(dk_handles)?, cat(dv_handles)?))
+    }
 }
 
 /// Looks up (or builds exactly once) the all-to-all layout for `shape`.
@@ -445,6 +612,38 @@ fn unshare(t: Arc<Tensor>) -> Tensor {
     Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone())
 }
 
+/// Cuts the causal tile triangle `{(i, j) : j <= i < u}` into `u`
+/// near-equal pipeline slots (sizes differ by at most one tile).
+///
+/// Tiles are queued column-major — KV chunk `j`'s column `(j..u, j)`
+/// opens at slot `j`, diagonal first — and each slot `s` takes
+/// `ceil(remaining / (u - s))` tiles from the queue front. Because
+/// columns are appended in order and the queue is FIFO, the flattened
+/// schedule preserves both accumulation orders the kernels rely on: for
+/// fixed `i` tiles run in ascending `j`, for fixed `j` in ascending `i`.
+/// Query chunk `i`'s first tile is always `(i, 0)` and column `j` always
+/// opens with its diagonal `(j, j)` — exactly what the executor's lazy
+/// row/column staging keys on.
+fn balanced_slots(u: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut slots: Vec<Vec<(usize, usize)>> = Vec::with_capacity(u);
+    let mut remaining = u * (u + 1) / 2;
+    for s in 0..u {
+        for i in s..u {
+            queue.push_back((i, s));
+        }
+        let quota = if s + 1 == u {
+            queue.len()
+        } else {
+            remaining.div_ceil(u - s).min(queue.len())
+        };
+        let slot: Vec<(usize, usize)> = queue.drain(..quota).collect();
+        remaining -= slot.len();
+        slots.push(slot);
+    }
+    slots
+}
+
 impl AttentionExec for DistAttention {
     fn forward(
         &mut self,
@@ -460,16 +659,33 @@ impl AttentionExec for DistAttention {
         // Chunk 0's QKV all-to-all goes on the wire before any compute;
         // inside the loop chunk i+1's is posted before chunk i's updates
         // run, so the stream hides each transfer behind the previous
-        // chunk's online softmax. Output chunks travel home the same way:
-        // the inverse all-to-all is posted as soon as a chunk finalizes
-        // and only resolved at the final concat.
+        // chunk's online softmax. The balanced schedule posts every fused
+        // QKV up-front instead: the early slots are short (few KV tiles),
+        // so a one-chunk lookahead cannot hide the wire time there, but
+        // queue depth u can. Either way the FIFO order of fused QKV ops
+        // is ascending in i and the per-chunk online-softmax update order
+        // never changes, so results are bitwise identical. Output chunks
+        // travel home the same way in both modes: the inverse all-to-all
+        // is posted as soon as a chunk finalizes and only resolved at the
+        // final concat.
         let mut o_handles: Vec<PendingTensor> = Vec::with_capacity(u);
-        let mut next_qkv = Some(self.post_qkv(q, k, v, self.plan.local_chunk_range(0).start, c_loc)?);
+        let mut qkv_queue: VecDeque<PendingQkv> = VecDeque::with_capacity(u);
+        let posted_ahead = if self.opts.balanced { u } else { 1.min(u) };
+        for i in 0..posted_ahead {
+            let range = self.plan.local_chunk_range(i);
+            qkv_queue.push_back(self.post_qkv(q, k, v, range.start, c_loc)?);
+        }
+        // Cross-chunk KV carry (balanced only): chunk i+1's first KV fetch
+        // is issued while chunk i is still computing, so no slot opens on
+        // an exposed transfer. Same fetch keys and counts as the
+        // sequential schedule — the copies just start one slot earlier.
+        let mut carry: Option<(FetchHandle, FetchHandle)> = None;
         for i in 0..u {
-            let cur = next_qkv.take().ok_or("chunk i's QKV was not posted")?;
-            if i + 1 < u {
+            let _slot = self.span("slot.fwd", 0);
+            let cur = qkv_queue.pop_front().ok_or("chunk i's QKV was not posted")?;
+            if !self.opts.balanced && i + 1 < u {
                 let range = self.plan.local_chunk_range(i + 1);
-                next_qkv = Some(self.post_qkv(q, k, v, range.start, c_loc)?);
+                qkv_queue.push_back(self.post_qkv(q, k, v, range.start, c_loc)?);
             }
             // Project chunk through the all-to-all: full heads/local seq ->
             // local heads/gathered seq.
@@ -483,7 +699,10 @@ impl AttentionExec for DistAttention {
             // j's update runs, so the copy stream hides it behind compute
             // (paper Figure 13).
             let mut next = if i > 0 {
-                Some(self.fetch_kv(layer, 0, false)?)
+                match carry.take() {
+                    Some(h) => Some(h),
+                    None => Some(self.fetch_kv(layer, 0, false)?),
+                }
             } else {
                 None
             };
@@ -495,6 +714,13 @@ impl AttentionExec for DistAttention {
                     None
                 };
                 let (kj, vj) = (cur.0.wait(), cur.1.wait());
+                // Balanced carry for chunk i+1, issued on the last inner
+                // tile only after `cur` resolved: when i == 1 this tile's
+                // handles ARE chunk 0's K/V keys, and the pool treats a
+                // second in-flight fetch of a key as a schedule bug.
+                if self.opts.balanced && j + 1 == i && i + 1 < u {
+                    carry = Some(self.fetch_kv(layer, 0, false)?);
+                }
                 let _u = self.span("kernel.attn.update", kj.data().len());
                 st.update(&kj, &vj, &self.plan.gathered_positions(j))?;
             }
@@ -519,6 +745,12 @@ impl AttentionExec for DistAttention {
                 ChunkKey::new(layer, BufKind::Lse, i),
                 Arc::new(Tensor::from_vec(lse, &[lse_len])?),
             );
+            // Chunk 0 has no inner tiles to hang the carry on; its K/V
+            // puts just above make chunk 0's cache fetchable, so the carry
+            // for chunk 1 is issued here.
+            if self.opts.balanced && i == 0 && u > 1 {
+                carry = Some(self.fetch_kv(layer, 0, false)?);
+            }
             // Gather heads back: the output chunk returns to local layout.
             o_handles.push(self.post_inv(oi)?);
         }
@@ -531,6 +763,9 @@ impl AttentionExec for DistAttention {
     }
 
     fn backward(&mut self, layer: usize, dout: &Tensor) -> ExecResult<(Tensor, Tensor, Tensor)> {
+        if self.opts.balanced {
+            return self.backward_balanced(layer, dout);
+        }
         let u = self.plan.chunks;
         let c_loc = self.plan.chunk_local_len();
         let scale = default_scale(dout.shape()[2]);
@@ -574,6 +809,7 @@ impl AttentionExec for DistAttention {
         // whole sweep hides it.
         let mut next_kv = Some(self.fetch_kv(layer, 0, true)?);
         for j in 0..u {
+            let _slot = self.span("slot.bwd", 0);
             let cur = next_kv.take().ok_or("KV chunk j was not prefetched")?;
             next_kv = if j + 1 < u {
                 Some(self.fetch_kv(layer, j + 1, true)?)
@@ -1052,6 +1288,129 @@ mod tests {
             assert_eq!(af.recvs, ab.recvs);
             assert_eq!(ab.bytes_sent * 2, af.bytes_sent, "bytes_a2a halve exactly");
             assert_eq!(ab.bytes_recv * 2, af.bytes_recv);
+        }
+    }
+
+    #[test]
+    fn balanced_slots_cover_the_triangle_in_accumulation_order() {
+        for u in 1..=8usize {
+            let slots = balanced_slots(u);
+            assert_eq!(slots.len(), u, "one slot per chunk (u={u})");
+            let sizes: Vec<usize> = slots.iter().map(Vec::len).collect();
+            let min = sizes.iter().copied().min().unwrap();
+            let max = sizes.iter().copied().max().unwrap();
+            assert!(
+                min >= 1 && max - min <= 1,
+                "near-equal slot sizes (u={u}): {sizes:?}"
+            );
+            let flat: Vec<(usize, usize)> = slots.into_iter().flatten().collect();
+            assert_eq!(flat.len(), u * (u + 1) / 2, "every tile scheduled (u={u})");
+            let mut seen = std::collections::HashSet::new();
+            // Row i must sweep KV ascending from 0; column j must sweep
+            // queries ascending from its diagonal j.
+            let mut next_j = vec![0usize; u];
+            let mut next_i: Vec<usize> = (0..u).collect();
+            for (i, j) in flat {
+                assert!(j <= i && i < u, "causal tile ({i},{j})");
+                assert!(seen.insert((i, j)), "tile ({i},{j}) duplicated");
+                assert_eq!(j, next_j[i], "row {i} sweeps KV in ascending order");
+                assert_eq!(i, next_i[j], "column {j} sweeps queries in ascending order");
+                next_j[i] += 1;
+                next_i[j] += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_and_sequential_schedules_are_bitwise_identical() {
+        // FPDT_BALANCE re-cuts the tile triangle but never reorders any
+        // accumulator's updates or adds/removes a transfer: outputs,
+        // gradients, and pool statistics must match bit for bit.
+        let (s, h, d) = (16, 2, 4);
+        let (q, k, v) = rand_qkv(31, s, h, d);
+        let mut rng = init::seeded_rng(32);
+        let dout = init::randn(&mut rng, &[s / 2, h, d], 1.0);
+        let run = |balanced: bool| {
+            run_group(2, |comm| {
+                let plan = ChunkPlan::new(s, 2, 4).unwrap();
+                let pos = plan.local_positions(comm.rank());
+                let shard = |t: &Tensor| {
+                    let parts: Vec<Tensor> =
+                        pos.iter().map(|&p| t.narrow(0, p, 1).unwrap()).collect();
+                    let refs: Vec<&Tensor> = parts.iter().collect();
+                    Tensor::concat(&refs, 0).unwrap()
+                };
+                let opts = RuntimeOptions::from_env()
+                    .with_offload(true)
+                    .with_balanced(balanced);
+                let mut ex = DistAttention::with_opts(Arc::new(comm), plan, opts);
+                let o = ex
+                    .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
+                    .unwrap();
+                let (dq, dk, dv) = ex.backward(0, &dout).unwrap();
+                (o, dq, dk, dv, ex.host_stats())
+            })
+        };
+        let bal = run(true);
+        let seq = run(false);
+        for ((o1, dq1, dk1, dv1, st1), (o2, dq2, dk2, dv2, st2)) in bal.into_iter().zip(seq) {
+            assert_eq!(o1.data(), o2.data(), "outputs bitwise");
+            assert_eq!(dq1.data(), dq2.data(), "dq bitwise");
+            assert_eq!(dk1.data(), dk2.data(), "dk bitwise");
+            assert_eq!(dv1.data(), dv2.data(), "dv bitwise");
+            // Transfer counts and bytes are identical; peak residency is
+            // the one legitimately schedule-dependent statistic, and lazy
+            // row staging means the balanced peak never exceeds the
+            // sequential stage-1 drain's.
+            assert_eq!(st1.offloads, st2.offloads, "offload count");
+            assert_eq!(st1.fetches, st2.fetches, "fetch count");
+            assert_eq!(st1.bytes, st2.bytes, "resident bytes after drain");
+            assert_eq!(st1.bytes_offloaded, st2.bytes_offloaded, "offload bytes");
+            assert_eq!(st1.bytes_fetched, st2.bytes_fetched, "fetch bytes");
+            assert!(st1.peak_bytes <= st2.peak_bytes, "balanced peak residency");
+        }
+    }
+
+    #[test]
+    fn balanced_schedule_keeps_transfer_and_post_counts() {
+        // The balanced schedule reorders work, never adds any: the exact
+        // fetch formulas audited for the sequential Figure-7 nest must
+        // hold, and the comm stream still sees one fused QKV + one output
+        // post per chunk forward (2u) and u dO + 3u gradient posts in the
+        // backward (6u cumulative).
+        let u = 4usize;
+        let (s, h, d) = (16, 2, 4);
+        let (q, k, v) = rand_qkv(33, s, h, d);
+        let dout = Tensor::ones(&[s / 2, h, d]);
+        let counts = run_group(2, |comm| {
+            let plan = ChunkPlan::new(s, 2, u).unwrap();
+            let pos = plan.local_positions(comm.rank());
+            let shard = |t: &Tensor| {
+                let parts: Vec<Tensor> = pos.iter().map(|&p| t.narrow(0, p, 1).unwrap()).collect();
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                Tensor::concat(&refs, 0).unwrap()
+            };
+            let opts = RuntimeOptions::from_env()
+                .with_offload(true)
+                .with_balanced(true);
+            let mut ex = DistAttention::with_opts(Arc::new(comm), plan, opts);
+            ex.forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)
+                .unwrap();
+            let fwd = (ex.host_stats(), ex.comm_posted());
+            ex.backward(0, &dout).unwrap();
+            (fwd, ex.host_stats(), ex.comm_posted(), ex.host.is_empty())
+        });
+        let tiles = u * (u + 1) / 2;
+        for ((after_fwd, posted_fwd), after_bwd, posted_bwd, empty) in counts {
+            assert_eq!(after_fwd.fetches, (u * (u - 1)) as u64, "forward fetches");
+            assert_eq!(posted_fwd, (2 * u) as u64, "one fused QKV + one O post per chunk");
+            assert_eq!(
+                after_bwd.fetches - after_fwd.fetches,
+                (u + 2 * u + 5 * tiles) as u64,
+                "backward fetches (KV exactly once per column)"
+            );
+            assert_eq!(posted_bwd, (6 * u) as u64, "u dO + u dq + u dk + u dv posts");
+            assert!(empty, "every cached chunk consumed");
         }
     }
 

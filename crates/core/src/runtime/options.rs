@@ -22,6 +22,7 @@
 //! |----------------------|----------------------------------------------|---------|
 //! | `FPDT_PREFETCH`      | offload copy stream (`0`/`false`/`off` = no) | on      |
 //! | `FPDT_COMM_ASYNC`    | all-to-all comm stream (same syntax)         | on      |
+//! | `FPDT_BALANCE`       | causal load-balanced tile schedule (same)    | on      |
 //! | `FPDT_BF16`          | bf16 offload/all-to-all payloads (same)      | off     |
 //! | `FPDT_THREADS`       | kernel pool thread budget                    | num CPUs|
 //! | `FPDT_PAR_THRESHOLD` | min elements before kernels split            | 4096    |
@@ -71,6 +72,13 @@ pub struct RuntimeOptions {
     /// stream, so chunk `i+1`'s wire time hides behind chunk `i`'s
     /// compute. `FPDT_COMM_ASYNC`.
     pub comm_async: bool,
+    /// Causal load-balanced tile schedule (`FPDT_BALANCE`): the executor
+    /// decomposes each chunk's attention into `(q_chunk, kv_chunk)` tiles
+    /// and equalizes per-slot work — eager fused-QKV posts, cross-chunk
+    /// KV prefetch, and a quota-spilled Figure-7 backward. Every
+    /// accumulation order is preserved, so results, `PoolStats`, and
+    /// `CommStats` are bitwise identical to the sequential schedule.
+    pub balanced: bool,
     /// Move HostPool-offloaded KV chunks and all-to-all payloads as bf16
     /// (half the wire bytes; compute stays f32). `FPDT_BF16`. The one
     /// knob that affects numerics — see the module docs.
@@ -94,6 +102,7 @@ impl RuntimeOptions {
             offload: false,
             prefetch: env_flag("FPDT_PREFETCH", true),
             comm_async: env_flag("FPDT_COMM_ASYNC", true),
+            balanced: env_flag("FPDT_BALANCE", true),
             payload_bf16: env_flag("FPDT_BF16", false),
             threads: env_usize("FPDT_THREADS"),
             par_threshold: env_usize("FPDT_PAR_THRESHOLD"),
@@ -118,6 +127,13 @@ impl RuntimeOptions {
     #[must_use]
     pub fn with_comm_async(mut self, comm_async: bool) -> Self {
         self.comm_async = comm_async;
+        self
+    }
+
+    /// Sets the causal load-balanced tile schedule on or off.
+    #[must_use]
+    pub fn with_balanced(mut self, balanced: bool) -> Self {
+        self.balanced = balanced;
         self
     }
 
@@ -206,10 +222,12 @@ mod tests {
             .with_offload(true)
             .with_prefetch(false)
             .with_comm_async(false)
+            .with_balanced(false)
             .with_payload_bf16(true)
             .with_threads(3)
             .with_par_threshold(1);
         assert!(opts.offload && !opts.prefetch && !opts.comm_async);
+        assert!(!opts.balanced);
         assert!(opts.payload_bf16);
         assert_eq!(opts.threads, Some(3));
         assert_eq!(opts.par_threshold, Some(1));

@@ -21,6 +21,13 @@ pub struct RingAttention {
     pub activation_checkpoint: bool,
     /// Move checkpoints to host memory.
     pub offload_checkpoint: bool,
+    /// Zigzag query-chunk pairing (DISTFLASHATTN / LightSeq): each rank
+    /// holds query chunks `i` and `2p-1-i`, so under the causal mask
+    /// every rank sweeps the same `(p+1)/(2p)` share of KV blocks instead
+    /// of rank `p-1` sweeping everything while rank 0 sweeps one block.
+    /// The ring still moves the same KV bytes per hop; only the compute
+    /// skew (and the wasted upper-triangle work) disappears.
+    pub load_balanced: bool,
 }
 
 impl RingAttention {
@@ -30,6 +37,16 @@ impl RingAttention {
             zero: ZeroStage::Three,
             activation_checkpoint: true,
             offload_checkpoint: true,
+            load_balanced: false,
+        }
+    }
+
+    /// Load-balanced variant: zigzag chunk assignment on top of the
+    /// paper baseline, halving the worst hop's compute skew.
+    pub fn zigzag() -> Self {
+        RingAttention {
+            load_balanced: true,
+            ..Self::paper_baseline()
         }
     }
 }
@@ -42,7 +59,11 @@ impl Default for RingAttention {
 
 impl Strategy for RingAttention {
     fn name(&self) -> String {
-        "RingAttention+ZeRO-3+AC+OC".to_string()
+        if self.load_balanced {
+            "RingAttention+zigzag+ZeRO-3+AC+OC".to_string()
+        } else {
+            "RingAttention+ZeRO-3+AC+OC".to_string()
+        }
     }
 
     fn estimate(&self, setup: &TrainSetup) -> StepEstimate {
@@ -63,8 +84,17 @@ impl Strategy for RingAttention {
         let compute = sharded_compute_seconds(setup, &cost, self.activation_checkpoint);
         let attn_total_fwd = flops::attention_core_fwd_flops(m, setup.seq_len) / p as f64;
         let passes: f64 = if self.activation_checkpoint { 2.0 } else { 1.0 }; // fwd (+recompute)
-        let block_fwd = cost.attention_time(attn_total_fwd / p as f64);
-        let block_bwd = cost.attention_time(2.5 * attn_total_fwd / p as f64);
+        // With zigzag pairing every rank computes the same (p+1)/(2p)
+        // causal share of each ring step's block; the naive contiguous
+        // assignment is priced as the full block because the slowest rank
+        // (the one holding the last query chunk) gates every hop.
+        let causal_share = if self.load_balanced {
+            (p as f64 + 1.0) / (2.0 * p as f64)
+        } else {
+            1.0
+        };
+        let block_fwd = causal_share * cost.attention_time(attn_total_fwd / p as f64);
+        let block_bwd = causal_share * cost.attention_time(2.5 * attn_total_fwd / p as f64);
         let kv_bytes = (2.0 * unit as f64 * m.kv_heads as f64 / m.heads as f64) as u64;
         let hop = cost.p2p_time(kv_bytes)
             + if setup.cluster.spans_nodes(p) {
@@ -75,11 +105,20 @@ impl Strategy for RingAttention {
         let ring_overhead_per_layer =
             (p as f64 - 1.0) * ((hop - block_fwd).max(0.0) * passes + (hop - block_bwd).max(0.0));
         // the already-counted attention compute stays; only stalls add.
+        // `compute` prices the full (non-causal) attention share — what
+        // the contiguous assignment actually costs on the critical rank
+        // holding the last query chunk; zigzag reclaims the share the
+        // causal mask skips. `attn_total_fwd` already spans all layers,
+        // and `passes + 2.5` mirrors `sharded_compute_seconds`'s
+        // fwd (+recompute) + bwd accounting.
+        let attn_saving =
+            (1.0 - causal_share) * cost.attention_time(attn_total_fwd * (passes + 2.5));
         let zero_comm = self.zero.comm_seconds(m, &cost, p);
         let step_time = compute
             + zero_comm
             + m.layers as f64 * ring_overhead_per_layer
             + m.layers as f64 * 2.0 * (p as f64) * setup.cluster.node.link_latency
+            - attn_saving
             + crate::setup::PER_STEP_FRAMEWORK_SECONDS;
 
         // --- memory ---
@@ -152,6 +191,54 @@ mod tests {
             gap_long.abs() < gap_short.abs(),
             "gap shrinks: {gap_short} -> {gap_long}"
         );
+    }
+
+    #[test]
+    fn zigzag_outruns_the_contiguous_ring_with_identical_memory() {
+        // Zigzag only re-times compute: the step gets faster (the causal
+        // share drops from 1 to (p+1)/(2p)) while every memory number —
+        // same KV blocks, same checkpoints, same ZeRO shards — is
+        // untouched.
+        let m = ModelConfig::llama3_8b();
+        let cluster = ClusterSpec::a100_80g(2, 4);
+        let setup = TrainSetup::new(m, cluster, 256 * K);
+        let base = RingAttention::paper_baseline().estimate(&setup);
+        let zz = RingAttention::zigzag().estimate(&setup);
+        assert!(
+            zz.step_time < base.step_time,
+            "zigzag step {} vs contiguous {}",
+            zz.step_time,
+            base.step_time
+        );
+        assert!(zz.mfu > base.mfu, "mfu {} vs {}", zz.mfu, base.mfu);
+        assert_eq!(zz.peak_hbm, base.peak_hbm, "memory must be untouched");
+        assert_eq!(zz.host_bytes_per_node, base.host_bytes_per_node);
+    }
+
+    #[test]
+    fn golden_step_estimates_for_both_ring_variants() {
+        // Pinned numbers for the comparator table: any cost-model drift
+        // that moves either ring row shows up here first. Captured from
+        // the implementation at introduction time (gpt-6.7b, 1x4 A100
+        // 80G, 256K tokens).
+        let m = ModelConfig::gpt_6_7b();
+        let cluster = ClusterSpec::a100_80g(1, 4);
+        let setup = TrainSetup::new(m, cluster, 256 * K);
+        let base = RingAttention::paper_baseline().estimate(&setup);
+        let zz = RingAttention::zigzag().estimate(&setup);
+        let close = |got: f64, want: f64| (got - want).abs() <= 1e-6 * want.abs();
+        assert!(
+            close(base.step_time, 128.879840163),
+            "base step_time {}",
+            base.step_time
+        );
+        assert!(close(base.mfu, 0.457028711), "base mfu {}", base.mfu);
+        assert!(
+            close(zz.step_time, 86.882576049),
+            "zigzag step_time {}",
+            zz.step_time
+        );
+        assert!(close(zz.mfu, 0.677947062), "zigzag mfu {}", zz.mfu);
     }
 
     #[test]

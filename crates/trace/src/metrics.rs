@@ -272,6 +272,50 @@ pub fn measure(iv: &[(f64, f64)]) -> f64 {
     iv.iter().map(|&(a, b)| b - a).sum()
 }
 
+/// How evenly a pipeline's per-slot work is spread — the regression
+/// signal behind the causal load-balanced tile schedule, where the goal
+/// is near-equal slots instead of the triangular `u, u-1, .., 1` ramp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotBalance {
+    /// Number of pipeline slots measured.
+    pub slots: usize,
+    /// Mean slot duration (same unit as the inputs).
+    pub mean: f64,
+    /// Coefficient of variation: population standard deviation over the
+    /// mean. 0 for perfectly equal slots; `sqrt(1.25)/2.5 ≈ 0.447` for
+    /// the triangular `1, 2, 3, 4`.
+    pub skew: f64,
+    /// Last slot's share of the total — the tail-slot occupancy. `1/slots`
+    /// when balanced; under the sequential causal forward the last slot
+    /// dominates, under the sequential backward it starves.
+    pub tail_fraction: f64,
+}
+
+/// Computes [`SlotBalance`] from per-slot durations, in slot order.
+/// Degenerate inputs (empty set, zero total) yield all-zero statistics
+/// except `slots`, and a single slot is reported as zero skew with a
+/// tail fraction of 1.
+pub fn slot_balance(durations: &[f64]) -> SlotBalance {
+    let slots = durations.len();
+    let total: f64 = durations.iter().sum();
+    if slots == 0 || total <= 0.0 {
+        return SlotBalance {
+            slots,
+            mean: 0.0,
+            skew: 0.0,
+            tail_fraction: 0.0,
+        };
+    }
+    let mean = total / slots as f64;
+    let var = durations.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / slots as f64;
+    SlotBalance {
+        slots,
+        mean,
+        skew: var.sqrt() / mean,
+        tail_fraction: durations.last().copied().unwrap_or(0.0) / total,
+    }
+}
+
 /// Intersection of two disjoint, sorted interval sets.
 pub fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
@@ -360,6 +404,40 @@ mod tests {
         assert!((m.resources[0].busy_seconds - 3.0).abs() < 1e-12);
         assert_eq!(m.resources[0].bytes, 40);
         assert!((m.copy_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_balance_on_perfectly_balanced_slots() {
+        let b = slot_balance(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(b.slots, 4);
+        assert!((b.mean - 2.0).abs() < 1e-12);
+        assert!(b.skew.abs() < 1e-12, "equal slots => zero skew");
+        assert!((b.tail_fraction - 0.25).abs() < 1e-12, "tail = 1/slots");
+    }
+
+    #[test]
+    fn slot_balance_on_triangular_slots() {
+        // The sequential causal ramp 1,2,3,4: mean 2.5, population
+        // variance 1.25 => CV = sqrt(1.25)/2.5, tail = 4/10.
+        let b = slot_balance(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((b.mean - 2.5).abs() < 1e-12);
+        assert!((b.skew - 1.25f64.sqrt() / 2.5).abs() < 1e-12);
+        assert!((b.skew - 0.447_213_595_499_958).abs() < 1e-9);
+        assert!((b.tail_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_balance_degenerate_cases() {
+        // Single chunk: one slot is trivially balanced and is the tail.
+        let single = slot_balance(&[7.5]);
+        assert_eq!(single.slots, 1);
+        assert!(single.skew.abs() < 1e-12);
+        assert!((single.tail_fraction - 1.0).abs() < 1e-12);
+        // Empty and zero-duration sets never divide by zero.
+        let empty = slot_balance(&[]);
+        assert_eq!((empty.slots, empty.mean, empty.skew, empty.tail_fraction), (0, 0.0, 0.0, 0.0));
+        let zeros = slot_balance(&[0.0, 0.0]);
+        assert_eq!((zeros.mean, zeros.skew, zeros.tail_fraction), (0.0, 0.0, 0.0));
     }
 
     #[test]

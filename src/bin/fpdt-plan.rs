@@ -134,6 +134,7 @@ fn main() -> ExitCode {
         Box::new(MegatronSp::paper_baseline()),
         Box::new(Ulysses::paper_baseline()),
         Box::new(RingAttention::paper_baseline()),
+        Box::new(RingAttention::zigzag()),
         Box::new(Fpdt {
             chunk_tokens: args.chunk,
             ..Fpdt::paper_default()
@@ -143,13 +144,13 @@ fn main() -> ExitCode {
     match args.seq {
         Some(seq) => {
             println!(
-                "{:<28} {:>8} {:>8} {:>10} {:>12} {:>8}",
+                "{:<34} {:>8} {:>8} {:>10} {:>12} {:>8}",
                 "strategy", "seq", "MFU", "HBM/GPU", "host/node", "fits"
             );
             for s in &strategies {
                 let est = s.estimate(&TrainSetup::new(args.model.clone(), cluster.clone(), seq));
                 println!(
-                    "{:<28} {:>8} {:>7.1}% {:>9.1}G {:>11.1}G {:>8}",
+                    "{:<34} {:>8} {:>7.1}% {:>9.1}G {:>11.1}G {:>8}",
                     s.name(),
                     human(seq),
                     est.mfu * 100.0,
@@ -161,7 +162,7 @@ fn main() -> ExitCode {
         }
         None => {
             println!(
-                "{:<28} {:>10} {:>8} {:>10}",
+                "{:<34} {:>10} {:>8} {:>10}",
                 "strategy", "max ctx", "MFU", "HBM/GPU"
             );
             for s in &strategies {
@@ -170,14 +171,14 @@ fn main() -> ExitCode {
                         let est =
                             s.estimate(&TrainSetup::new(args.model.clone(), cluster.clone(), best));
                         println!(
-                            "{:<28} {:>10} {:>7.1}% {:>9.1}G",
+                            "{:<34} {:>10} {:>7.1}% {:>9.1}G",
                             s.name(),
                             human(best),
                             est.mfu * 100.0,
                             est.peak_hbm as f64 / (1u64 << 30) as f64
                         );
                     }
-                    None => println!("{:<28} {:>10}", s.name(), "OOM"),
+                    None => println!("{:<34} {:>10}", s.name(), "OOM"),
                 }
             }
         }
