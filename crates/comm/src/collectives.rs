@@ -4,10 +4,16 @@
 //! operation with compatible arguments. Sends are buffered (channels are
 //! unbounded), so each collective can post all its sends before draining
 //! receives — no deadlock, no ordering games.
+//!
+//! Every collective starts with a
+//! [`fault_check`](crate::Communicator::inject_fault) — an armed transient
+//! fault surfaces as [`CommError::Transient`] *before* any message leaves
+//! the rank, so replaying the whole collective (see
+//! [`Communicator::retrying`]) is idempotent.
 
 use crate::group::Communicator;
 use crate::{CommError, Result};
-use fpdt_tensor::{Tensor, TensorError};
+use fpdt_tensor::Tensor;
 
 impl Communicator {
     /// All-to-all: rank `r` sends `parts[p]` to rank `p` and returns the
@@ -17,6 +23,7 @@ impl Communicator {
     ///
     /// Returns [`CommError::WrongPartCount`] unless `parts.len() == world`.
     pub fn all_to_all(&self, parts: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>> {
+        self.fault_check("all_to_all")?;
         if parts.len() != self.world() {
             return Err(CommError::WrongPartCount {
                 op: "all_to_all",
@@ -42,6 +49,7 @@ impl Communicator {
     ///
     /// Returns [`CommError::WrongPartCount`] unless `parts.len() == world`.
     pub fn all_to_all_bf16(&self, parts: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>> {
+        self.fault_check("all_to_all")?;
         if parts.len() != self.world() {
             return Err(CommError::WrongPartCount {
                 op: "all_to_all",
@@ -66,6 +74,7 @@ impl Communicator {
     /// [`CommError::Desync`] when it diverged mid-collective — the same
     /// uniform `Result` surface as every other collective.
     pub fn all_gather(&self, data: &[f32]) -> Result<Vec<Vec<f32>>> {
+        self.fault_check("all_gather")?;
         for peer in 0..self.world() {
             self.send("all_gather", peer, data.to_vec())?;
         }
@@ -82,6 +91,7 @@ impl Communicator {
     /// Returns [`CommError::WrongPartCount`] for a bad part count and
     /// [`CommError::LengthMismatch`] when contributions disagree in length.
     pub fn reduce_scatter(&self, parts: Vec<Vec<f32>>) -> Result<Vec<f32>> {
+        self.fault_check("reduce_scatter")?;
         if parts.len() != self.world() {
             return Err(CommError::WrongPartCount {
                 op: "reduce_scatter",
@@ -146,6 +156,7 @@ impl Communicator {
     ///
     /// Returns [`CommError::RankOutOfRange`] for a bad root.
     pub fn broadcast(&self, root: usize, data: Option<Vec<f32>>) -> Result<Vec<f32>> {
+        self.fault_check("broadcast")?;
         if root >= self.world() {
             return Err(CommError::RankOutOfRange {
                 rank: root,
@@ -170,6 +181,7 @@ impl Communicator {
     /// Returns [`CommError::RankOutOfRange`] for a bad root or
     /// [`CommError::WrongPartCount`] for a bad part count at the root.
     pub fn scatter(&self, root: usize, parts: Option<Vec<Vec<f32>>>) -> Result<Vec<f32>> {
+        self.fault_check("scatter")?;
         if root >= self.world() {
             return Err(CommError::RankOutOfRange {
                 rank: root,
@@ -203,6 +215,7 @@ impl Communicator {
     ///
     /// Returns [`CommError::RankOutOfRange`] for a bad root.
     pub fn gather(&self, root: usize, data: Vec<f32>) -> Result<Option<Vec<Vec<f32>>>> {
+        self.fault_check("gather")?;
         if root >= self.world() {
             return Err(CommError::RankOutOfRange {
                 rank: root,
@@ -228,6 +241,7 @@ impl Communicator {
     ///
     /// Returns [`CommError::PeerDisconnected`] if a neighbor died.
     pub fn ring_exchange(&self, data: Vec<f32>) -> Result<Vec<f32>> {
+        self.fault_check("ring_exchange")?;
         let next = (self.rank() + 1) % self.world();
         let prev = (self.rank() + self.world() - 1) % self.world();
         self.send("ring_exchange", next, data)?;
@@ -235,9 +249,6 @@ impl Communicator {
     }
 }
 
-/// Error type for the tensor all-to-all (shape and communication failures
-/// both occur).
-type A2aResult<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;
 
 /// Which way a Ulysses all-to-all reshapes the tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -282,14 +293,15 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error unless the shape is 3-D with `h`
+    /// Returns [`CommError::Shape`] unless the shape is 3-D with `h`
     /// divisible by `world`.
-    pub fn scatter_heads(shape: &[usize], world: usize) -> A2aResult<Self> {
+    pub fn scatter_heads(shape: &[usize], world: usize) -> Result<Self> {
         let [s_local, h, d] = check_3d("ulysses_all_to_all", shape)?;
         if h % world != 0 {
-            return Err(Box::new(TensorError::InvalidSlice {
+            return Err(CommError::Shape {
+                op: "ulysses_all_to_all",
                 what: format!("{h} heads not divisible by {world} ranks"),
-            }));
+            });
         }
         Ok(AllToAllLayout {
             dir: A2aDirection::HeadsToSeq,
@@ -306,14 +318,15 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error unless the shape is 3-D with
+    /// Returns [`CommError::Shape`] unless the shape is 3-D with
     /// `s_global` divisible by `world`.
-    pub fn scatter_seq(shape: &[usize], world: usize) -> A2aResult<Self> {
+    pub fn scatter_seq(shape: &[usize], world: usize) -> Result<Self> {
         let [s_global, h_local, d] = check_3d("ulysses_all_to_all_inv", shape)?;
         if s_global % world != 0 {
-            return Err(Box::new(TensorError::InvalidSlice {
+            return Err(CommError::Shape {
+                op: "ulysses_all_to_all_inv",
                 what: format!("sequence {s_global} not divisible by {world} ranks"),
-            }));
+            });
         }
         Ok(AllToAllLayout {
             dir: A2aDirection::SeqToHeads,
@@ -338,9 +351,9 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a shape error when `x` or the group does not match the
-    /// layout, or a communication error if the group is unhealthy.
-    pub fn apply(&self, comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+    /// Returns [`CommError::Shape`] when `x` or the group does not match
+    /// the layout, or a communication error if the group is unhealthy.
+    pub fn apply(&self, comm: &Communicator, x: &Tensor) -> Result<Tensor> {
         self.apply_with(comm, x, false)
     }
 
@@ -352,21 +365,22 @@ impl AllToAllLayout {
     /// # Errors
     ///
     /// Same as [`AllToAllLayout::apply`].
-    pub fn apply_bf16(&self, comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+    pub fn apply_bf16(&self, comm: &Communicator, x: &Tensor) -> Result<Tensor> {
         self.apply_with(comm, x, true)
     }
 
-    fn apply_with(&self, comm: &Communicator, x: &Tensor, bf16: bool) -> A2aResult<Tensor> {
+    fn apply_with(&self, comm: &Communicator, x: &Tensor, bf16: bool) -> Result<Tensor> {
         if x.shape() != self.in_shape || comm.world() != self.world {
-            return Err(Box::new(TensorError::InvalidSlice {
+            return Err(CommError::Shape {
+                op: "ulysses_all_to_all",
                 what: format!(
-                    "all-to-all layout built for {:?} on {} ranks, applied to {:?} on {}",
+                    "layout built for {:?} on {} ranks, applied to {:?} on {}",
                     self.in_shape,
                     self.world,
                     x.shape(),
                     comm.world()
                 ),
-            }));
+            });
         }
         let p = self.world;
         let src = x.data();
@@ -419,7 +433,10 @@ impl AllToAllLayout {
                 }
             }
         }
-        Ok(Tensor::from_vec(out, &self.out_shape)?)
+        Tensor::from_vec(out, &self.out_shape).map_err(|e| CommError::Shape {
+            op: "ulysses_all_to_all",
+            what: e.to_string(),
+        })
     }
 
     /// One-shot forward all-to-all: builds the layout for `x` and applies
@@ -427,9 +444,9 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error when `h` is not divisible by the world
+    /// Returns [`CommError::Shape`] when `h` is not divisible by the world
     /// size, or a communication error if the group is unhealthy.
-    pub fn scatter_heads_gather_seq(comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+    pub fn scatter_heads_gather_seq(comm: &Communicator, x: &Tensor) -> Result<Tensor> {
         Self::scatter_heads(x.shape(), comm.world())?.apply(comm, x)
     }
 
@@ -438,21 +455,20 @@ impl AllToAllLayout {
     ///
     /// # Errors
     ///
-    /// Returns a tensor shape error when the sequence is not divisible by
+    /// Returns [`CommError::Shape`] when the sequence is not divisible by
     /// the world size, or a communication error.
-    pub fn scatter_seq_gather_heads(comm: &Communicator, x: &Tensor) -> A2aResult<Tensor> {
+    pub fn scatter_seq_gather_heads(comm: &Communicator, x: &Tensor) -> Result<Tensor> {
         Self::scatter_seq(x.shape(), comm.world())?.apply(comm, x)
     }
 }
 
-fn check_3d(op: &'static str, shape: &[usize]) -> A2aResult<[usize; 3]> {
+fn check_3d(op: &'static str, shape: &[usize]) -> Result<[usize; 3]> {
     match shape {
         &[a, b, c] => Ok([a, b, c]),
-        _ => Err(Box::new(TensorError::RankMismatch {
+        _ => Err(CommError::Shape {
             op,
-            expected: 3,
-            actual: shape.len(),
-        })),
+            what: format!("expected a 3-D tensor, got {} dims", shape.len()),
+        }),
     }
 }
 

@@ -140,6 +140,7 @@ pub struct CommEngine {
     worker: Option<JoinHandle<()>>,
     recorder: Option<Recorder>,
     posted: AtomicU64,
+    retries: usize,
 }
 
 impl CommEngine {
@@ -178,7 +179,16 @@ impl CommEngine {
             worker,
             recorder: None,
             posted: AtomicU64::new(0),
+            retries: 0,
         }
+    }
+
+    /// Sets the replay budget for [`CommEngine::post_replayed`] — how many
+    /// extra attempts a [retryable](crate::CommError::is_retryable) failure
+    /// buys before it surfaces. The knob behind
+    /// `RuntimeOptions::comm_retries`.
+    pub fn set_retries(&mut self, retries: usize) {
+        self.retries = retries;
     }
 
     /// Attaches a span recorder: posts record `comm.post` on the posting
@@ -259,6 +269,37 @@ impl CommEngine {
             recorder: self.recorder.clone(),
             bytes,
         }
+    }
+
+    /// Posts a *replayable* collective: on a
+    /// [retryable](crate::CommError::is_retryable) failure the op is
+    /// re-invoked on the stream, up to the [`CommEngine::set_retries`]
+    /// budget. The closure is `Fn` (not `FnOnce`) precisely so a replay is
+    /// possible — it must read its captures by reference and perform the
+    /// whole collective each attempt, which is idempotent because
+    /// collectives fail only before their first send. Each replay records
+    /// a `comm.retry` span and tallies `CommStats::retries`.
+    pub fn post_replayed<T, F>(&self, bytes: u64, op: F) -> Pending<crate::Result<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&Communicator) -> crate::Result<T> + Send + 'static,
+    {
+        let budget = self.retries;
+        let rec = self.recorder.clone();
+        self.post(bytes, move |comm| {
+            comm.retrying(budget, |c| {
+                let out = op(c);
+                if let Err(e) = &out {
+                    if e.is_retryable() {
+                        if let Some(r) = &rec {
+                            let at = r.now_us();
+                            r.record("comm.retry", at, 0.0, Some(bytes));
+                        }
+                    }
+                }
+                out
+            })
+        })
     }
 }
 
@@ -350,6 +391,38 @@ mod tests {
             handle = engine.post(0, |_| 11usize);
         } // drop closes the queue and joins the worker
         assert_eq!(handle.wait(), 11);
+    }
+
+    #[test]
+    fn replayed_post_retries_transient_faults() {
+        let comm = solo_comm();
+        comm.inject_fault("all_to_all", 2);
+        let mut engine = CommEngine::new(Arc::clone(&comm), true);
+        engine.set_retries(2);
+        let h = engine.post_replayed(4, |comm| {
+            comm.all_to_all(vec![vec![9.0]]).map(|mut r| r.remove(0))
+        });
+        assert_eq!(h.wait().unwrap(), vec![9.0]);
+        let stats = comm.stats();
+        assert_eq!(stats.faults, 2);
+        assert_eq!(stats.retries, 2);
+        // The two failed attempts moved no bytes: traffic counts one op.
+        assert_eq!(stats.op("all_to_all").unwrap().sends, 1);
+    }
+
+    #[test]
+    fn replayed_post_surfaces_exhausted_budget() {
+        let comm = solo_comm();
+        comm.inject_fault("all_to_all", 3);
+        let mut engine = CommEngine::new(Arc::clone(&comm), false);
+        engine.set_retries(1);
+        let h = engine.post_replayed(4, |comm| {
+            comm.all_to_all(vec![vec![1.0]]).map(|mut r| r.remove(0))
+        });
+        assert!(matches!(
+            h.wait(),
+            Err(crate::CommError::Transient { op: "all_to_all" })
+        ));
     }
 
     #[test]

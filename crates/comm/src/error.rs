@@ -44,6 +44,35 @@ pub enum CommError {
         /// Operation tag received from the peer.
         remote_op: String,
     },
+    /// A tensor handed to a layout-driven collective does not match the
+    /// layout's expected shape.
+    Shape {
+        /// Collective name.
+        op: &'static str,
+        /// Human-readable shape mismatch description.
+        what: String,
+    },
+    /// A transient wire fault (injected by the fault-tolerance harness, or
+    /// a recoverable glitch in a real transport). The collective performed
+    /// **no** sends before failing, so replaying it is idempotent — this is
+    /// the one variant [`CommError::is_retryable`] accepts.
+    Transient {
+        /// Collective name.
+        op: &'static str,
+    },
+}
+
+impl CommError {
+    /// Whether replaying the failed collective can succeed.
+    ///
+    /// Only [`CommError::Transient`] qualifies: the fault fired before any
+    /// sends, so a retry re-runs the whole collective against clean
+    /// channels. Everything else is either a caller bug (shape, part
+    /// count, rank range, desync) or a dead peer — replaying those either
+    /// fails identically or hangs, so they must abort the step instead.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CommError::Transient { .. })
+    }
 }
 
 impl fmt::Display for CommError {
@@ -81,6 +110,12 @@ impl fmt::Display for CommError {
                     "collective desync: local {local_op} vs remote {remote_op}"
                 )
             }
+            CommError::Shape { op, what } => {
+                write!(f, "{op} shape mismatch: {what}")
+            }
+            CommError::Transient { op } => {
+                write!(f, "transient fault in {op} (retryable)")
+            }
         }
     }
 }
@@ -110,9 +145,43 @@ mod tests {
                 local_op: "all_gather",
                 remote_op: "barrier".into(),
             },
+            CommError::Shape {
+                op: "all_to_all",
+                what: "expected [2, 4, 8]".into(),
+            },
+            CommError::Transient { op: "all_reduce" },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(CommError::Transient { op: "all_gather" }.is_retryable());
+        for e in [
+            CommError::RankOutOfRange { rank: 9, world: 4 },
+            CommError::WrongPartCount {
+                op: "all_to_all",
+                expected: 4,
+                actual: 2,
+            },
+            CommError::LengthMismatch {
+                op: "all_reduce",
+                expected: 8,
+                actual: 4,
+            },
+            CommError::PeerDisconnected { peer: 1 },
+            CommError::Desync {
+                local_op: "all_gather",
+                remote_op: "barrier".into(),
+            },
+            CommError::Shape {
+                op: "all_to_all",
+                what: "rank".into(),
+            },
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
         }
     }
 

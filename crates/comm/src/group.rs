@@ -3,7 +3,8 @@
 use crate::stats::{CommStats, Direction, StatsCell};
 use crate::{CommError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 /// Wire representation of one payload: full-precision f32 or bf16-rounded
@@ -61,35 +62,35 @@ impl CommGroup {
     /// Panics if `world == 0`.
     pub fn new(world: usize) -> Self {
         assert!(world > 0, "communicator group must have at least one rank");
-        // senders[src][dst] / receivers[dst][src]
-        let mut senders: Vec<Vec<Sender<Message>>> = (0..world).map(|_| Vec::new()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..world)
-            .map(|_| (0..world).map(|_| None).collect())
-            .collect();
-        #[allow(clippy::needless_range_loop)] // dst indexes two parallel arrays
-        for src in 0..world {
-            for dst in 0..world {
+        // senders[src][dst] / receivers[dst][src]. Building dst-major lets
+        // each receiver row come out of its loop fully formed, so no slot
+        // is ever provisional (no Option juggling, nothing to unwrap).
+        let mut senders: Vec<Vec<Sender<Message>>> =
+            (0..world).map(|_| Vec::with_capacity(world)).collect();
+        let mut receivers: Vec<Vec<Receiver<Message>>> = Vec::with_capacity(world);
+        for _dst in 0..world {
+            let mut row = Vec::with_capacity(world);
+            for tx_row in &mut senders {
                 let (tx, rx) = unbounded();
-                senders[src].push(tx);
-                receivers[dst][src] = Some(rx);
+                tx_row.push(tx);
+                row.push(rx);
             }
+            receivers.push(row);
         }
         let barrier = Arc::new(Barrier::new(world));
         let comms = senders
             .into_iter()
+            .zip(receivers)
             .enumerate()
-            .map(|(rank, tx_row)| {
+            .map(|(rank, (tx_row, rx_row))| {
                 Some(Communicator {
                     rank,
                     world,
                     senders: tx_row,
-                    receivers: receivers[rank]
-                        .iter_mut()
-                        // fpdt-lint: allow(unwrap-in-comm-path): construction invariant — the loop above fills every slot exactly once and nothing reads before this take
-                        .map(|r| r.take().expect("each receiver taken once"))
-                        .collect(),
+                    receivers: rx_row,
                     barrier: Arc::clone(&barrier),
                     stats: StatsCell::default(),
+                    faults: Mutex::new(HashMap::new()),
                 })
             })
             .collect();
@@ -120,6 +121,8 @@ pub struct Communicator {
     receivers: Vec<Receiver<Message>>,
     barrier: Arc<Barrier>,
     stats: StatsCell,
+    /// Armed transient faults per collective tag (fault-tolerance harness).
+    faults: Mutex<HashMap<&'static str, usize>>,
 }
 
 impl Communicator {
@@ -192,13 +195,68 @@ impl Communicator {
     }
 
     /// Blocks until every rank in the group has reached the barrier.
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Transient`] when an armed fault fires (before
+    /// this rank enters the barrier, so a retry rejoins cleanly). The
+    /// `Result` return also keeps the collectives surface uniform: every
+    /// group-wide operation is fallible.
+    pub fn barrier(&self) -> Result<()> {
+        self.fault_check("barrier")?;
         self.barrier.wait();
+        Ok(())
     }
 
     /// Snapshot of this rank's per-collective traffic counters.
     pub fn stats(&self) -> CommStats {
         self.stats.snapshot()
+    }
+
+    /// Arms `times` transient faults on the collective tagged `op`: the
+    /// next `times` invocations on **this rank** fail with
+    /// [`CommError::Transient`] before performing any sends, then the op
+    /// recovers. This is the fault-injection surface the recovery tests
+    /// and the `FPDT_FAULT_INJECT` CI leg drive.
+    pub fn inject_fault(&self, op: &'static str, times: usize) {
+        let mut faults = self.faults.lock().unwrap_or_else(|e| e.into_inner());
+        *faults.entry(op).or_insert(0) += times;
+    }
+
+    /// Consumes one armed fault for `op`, if any. Called at the *entry* of
+    /// every collective — before any message leaves this rank — so a
+    /// failed attempt leaves all channels untouched and a whole-collective
+    /// replay is idempotent.
+    pub(crate) fn fault_check(&self, op: &'static str) -> Result<()> {
+        let mut faults = self.faults.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = faults.get_mut(op) {
+            if *n > 0 {
+                *n -= 1;
+                drop(faults);
+                self.stats.fault_fired();
+                return Err(CommError::Transient { op });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` and replays it on [retryable](CommError::is_retryable)
+    /// failures, up to `budget` extra attempts. Because collectives fail
+    /// only *before* their first send (see [`Communicator::fault_check`]),
+    /// the replay re-runs the whole collective against clean channels;
+    /// peers blocked in `recv` simply wait out the retry. Each replay is
+    /// tallied on [`CommStats::retries`].
+    pub fn retrying<T>(&self, budget: usize, mut f: impl FnMut(&Self) -> Result<T>) -> Result<T> {
+        let mut attempts = 0usize;
+        loop {
+            match f(self) {
+                Err(e) if e.is_retryable() && attempts < budget => {
+                    attempts += 1;
+                    self.stats.retried();
+                }
+                out => return out,
+            }
+        }
     }
 }
 
@@ -228,8 +286,10 @@ where
             .collect();
         handles
             .into_iter()
-            // fpdt-lint: allow(unwrap-in-comm-path): deliberate panic propagation — a rank death aborts the whole job, matching real collective semantics (see the doc comment)
-            .map(|h| h.join().expect("rank thread panicked"))
+            // A rank death aborts the whole job, matching real collective
+            // semantics (see the doc comment): re-raise the rank thread's
+            // panic payload on the caller.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
 }
@@ -296,9 +356,54 @@ mod tests {
         let counter = AtomicUsize::new(0);
         run_group(4, |comm| {
             counter.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // After the barrier every rank must observe all increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn injected_fault_fires_then_clears() {
+        run_group(1, |comm| {
+            comm.inject_fault("barrier", 2);
+            assert!(matches!(
+                comm.barrier(),
+                Err(CommError::Transient { op: "barrier" })
+            ));
+            assert!(matches!(
+                comm.barrier(),
+                Err(CommError::Transient { op: "barrier" })
+            ));
+            comm.barrier().unwrap();
+            assert_eq!(comm.stats().faults, 2);
+        });
+    }
+
+    #[test]
+    fn retrying_replays_transient_faults_within_budget() {
+        run_group(1, |comm| {
+            comm.inject_fault("barrier", 2);
+            comm.retrying(2, |c| c.barrier()).unwrap();
+            assert_eq!(comm.stats().retries, 2);
+            // Budget exhausted: the last error surfaces.
+            comm.inject_fault("barrier", 3);
+            assert!(matches!(
+                comm.retrying(2, |c| c.barrier()),
+                Err(CommError::Transient { op: "barrier" })
+            ));
+        });
+    }
+
+    #[test]
+    fn retrying_does_not_replay_fatal_errors() {
+        run_group(1, |comm| {
+            let mut calls = 0usize;
+            let err = comm.retrying(5, |c| {
+                calls += 1;
+                c.send("x", 9, vec![])
+            });
+            assert!(matches!(err, Err(CommError::RankOutOfRange { .. })));
+            assert_eq!(calls, 1, "fatal errors must not be replayed");
         });
     }
 

@@ -17,6 +17,7 @@
 //! [`CommStats::recv_wait`]).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -48,6 +49,14 @@ pub struct CommStats {
     /// Total wall-clock time receives spent blocked, across all
     /// collectives. Timing, not traffic: excluded from `PartialEq`/`Eq`.
     pub recv_wait: Duration,
+    /// Injected transient faults that fired on this rank. Recovery
+    /// observability, not traffic (a faulted attempt moves zero bytes):
+    /// excluded from `PartialEq` so a run that weathered faults still
+    /// compares traffic-equal to a clean run.
+    pub faults: u64,
+    /// Collective replays performed by retry loops on this rank. Excluded
+    /// from `PartialEq` for the same reason as [`CommStats::faults`].
+    pub retries: u64,
 }
 
 impl PartialEq for CommStats {
@@ -78,6 +87,30 @@ impl CommStats {
     pub fn total_recv_wait(&self) -> Duration {
         self.recv_wait
     }
+
+    /// Folds another snapshot into this one, op by op.
+    ///
+    /// Ops unseen so far are appended in `other`'s order, so accumulating
+    /// per-segment snapshots from an SPMD program preserves the first-use
+    /// order a single uninterrupted run would have produced — which is
+    /// what makes a resumed run's accumulated stats compare bitwise-equal
+    /// to the uninterrupted run's.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (name, theirs) in &other.ops {
+            match self.ops.iter_mut().find(|(n, _)| n == name) {
+                Some((_, ours)) => {
+                    ours.sends += theirs.sends;
+                    ours.recvs += theirs.recvs;
+                    ours.bytes_sent += theirs.bytes_sent;
+                    ours.bytes_recv += theirs.bytes_recv;
+                }
+                None => self.ops.push((name.clone(), *theirs)),
+            }
+        }
+        self.recv_wait += other.recv_wait;
+        self.faults += other.faults;
+        self.retries += other.retries;
+    }
 }
 
 /// Which way a payload moved through the wire layer.
@@ -99,6 +132,8 @@ pub(crate) struct StatsCell {
     order: Mutex<Vec<String>>,
     by_op: Mutex<HashMap<String, OpStats>>,
     recv_wait: Mutex<Duration>,
+    faults: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl StatsCell {
@@ -137,6 +172,16 @@ impl StatsCell {
         *self.recv_wait.lock().unwrap_or_else(|e| e.into_inner()) += d;
     }
 
+    /// Counts an injected fault firing (recovery observability).
+    pub(crate) fn fault_fired(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one collective replay by a retry loop.
+    pub(crate) fn retried(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> CommStats {
         let order = self.order.lock().unwrap_or_else(|e| e.into_inner());
         let by_op = self.by_op.lock().unwrap_or_else(|e| e.into_inner());
@@ -148,6 +193,8 @@ impl StatsCell {
                 .map(|name| (name.clone(), by_op.get(name).copied().unwrap_or_default()))
                 .collect(),
             recv_wait: *self.recv_wait.lock().unwrap_or_else(|e| e.into_inner()),
+            faults: self.faults.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -201,5 +248,47 @@ mod tests {
         assert_eq!(a, b, "deterministic counters");
         // The wait totals are still reported (just not compared).
         let _ = a[0].total_recv_wait();
+    }
+
+    #[test]
+    fn merged_segments_equal_one_uninterrupted_run() {
+        // Stats accumulated across two half-length segments must equal one
+        // uninterrupted run's — the property resumable training leans on.
+        let run_steps = |steps: usize| {
+            run_group(2, |comm| {
+                for _ in 0..steps {
+                    let _ = comm.all_reduce(&[1.0; 16]).unwrap();
+                    let _ = comm.ring_exchange(vec![0.0; 4]).unwrap();
+                }
+                comm.stats()
+            })
+        };
+        let whole = run_steps(6);
+        let (a, b) = (run_steps(3), run_steps(3));
+        let mut merged = a[0].clone();
+        merged.merge(&b[0]);
+        assert_eq!(merged, whole[0]);
+        let names: Vec<&str> = merged.ops.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            whole[0].ops.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            "first-use order survives the merge"
+        );
+    }
+
+    #[test]
+    fn fault_and_retry_counters_do_not_break_equality() {
+        let clean = run_group(1, |comm| {
+            let _ = comm.all_reduce(&[1.0; 8]).unwrap();
+            comm.stats()
+        });
+        let faulted = run_group(1, |comm| {
+            comm.inject_fault("all_gather", 1);
+            comm.retrying(1, |c| c.all_reduce(&[1.0; 8])).unwrap();
+            comm.stats()
+        });
+        assert_eq!(faulted[0].faults, 1);
+        assert_eq!(faulted[0].retries, 1);
+        assert_eq!(clean[0], faulted[0], "traffic counters unchanged by recovery");
     }
 }

@@ -69,10 +69,52 @@ pub struct ChunkKey {
     pub chunk: usize,
 }
 
+impl BufKind {
+    /// Stable numeric code — the serialization order checkpoints use.
+    /// Appending new kinds at the end keeps existing shard files readable.
+    pub fn code(self) -> u8 {
+        match self {
+            BufKind::Q => 0,
+            BufKind::K => 1,
+            BufKind::V => 2,
+            BufKind::O => 3,
+            BufKind::Lse => 4,
+            BufKind::DQ => 5,
+            BufKind::DOut => 6,
+            BufKind::Dsum => 7,
+            BufKind::Hidden => 8,
+            BufKind::Ctx => 9,
+        }
+    }
+
+    /// Inverse of [`BufKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => BufKind::Q,
+            1 => BufKind::K,
+            2 => BufKind::V,
+            3 => BufKind::O,
+            4 => BufKind::Lse,
+            5 => BufKind::DQ,
+            6 => BufKind::DOut,
+            7 => BufKind::Dsum,
+            8 => BufKind::Hidden,
+            9 => BufKind::Ctx,
+            _ => return None,
+        })
+    }
+}
+
 impl ChunkKey {
     /// Convenience constructor.
     pub fn new(layer: usize, kind: BufKind, chunk: usize) -> Self {
         ChunkKey { layer, kind, chunk }
+    }
+
+    /// Deterministic sort key (`layer`, [`BufKind::code`], `chunk`) — the
+    /// order checkpointed residency entries are written in.
+    pub fn sort_key(&self) -> (usize, u8, usize) {
+        (self.layer, self.kind.code(), self.chunk)
     }
 }
 
@@ -92,6 +134,22 @@ pub struct PoolStats {
     /// Cumulative host-to-device traffic (bytes ever fetched, keep or
     /// consume).
     pub bytes_fetched: u64,
+}
+
+impl PoolStats {
+    /// Folds a later segment's counters into this snapshot: cumulative
+    /// counters add, residency takes the later segment's value, and the
+    /// high-water mark takes the max. Accumulating per-segment snapshots
+    /// this way makes a resumed run's pool statistics equal an
+    /// uninterrupted run's.
+    pub fn merge(&mut self, later: &PoolStats) {
+        self.offloads += later.offloads;
+        self.fetches += later.fetches;
+        self.bytes = later.bytes;
+        self.peak_bytes = self.peak_bytes.max(later.peak_bytes);
+        self.bytes_offloaded += later.bytes_offloaded;
+        self.bytes_fetched += later.bytes_fetched;
+    }
 }
 
 /// How one chunk is laid out in host memory: full-precision `f32` (the
@@ -294,6 +352,22 @@ impl HostPool {
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.store.is_empty()
+    }
+
+    /// Reads a resident chunk without transferring it: no counters move,
+    /// no eviction. This is the checkpoint path — serializing residency
+    /// must not perturb the transfer statistics the determinism suite
+    /// compares.
+    pub fn peek(&self, key: &ChunkKey) -> Option<&HostChunk> {
+        self.store.get(key)
+    }
+
+    /// Every resident key in deterministic [`ChunkKey::sort_key`] order —
+    /// the iteration order checkpoint shards serialize residency in.
+    pub fn resident_keys(&self) -> Vec<ChunkKey> {
+        let mut keys: Vec<ChunkKey> = self.store.keys().copied().collect();
+        keys.sort_by_key(|k| k.sort_key());
+        keys
     }
 
     /// Transfer and residency counters.

@@ -1,4 +1,5 @@
-//! Multi-threaded distributed training — the Figure 14 experiment.
+//! Multi-threaded distributed training — the Figure 14 experiment,
+//! grown into a resumable, fault-tolerant [`Trainer`].
 //!
 //! Every rank is an OS thread owning a full replica of a (tiny) GPT,
 //! initialized from the same seed. Sequences shard across ranks through a
@@ -7,17 +8,45 @@
 //! identical AdamW step. FPDT is "a pure system optimization" (paper
 //! §5.6): its loss curve must coincide with the baseline's, which
 //! [`train`] lets benchmarks and tests verify directly.
+//!
+//! ## The resumable Trainer
+//!
+//! [`Trainer`] runs training as a sequence of **segments**: `run_steps(n)`
+//! executes `n` micro-steps (whole gradient-accumulation windows) on a
+//! fresh thread-device world and commits the resulting state — flat
+//! parameters, flat optimizer moments, the data-RNG words, losses, and
+//! accumulated traffic counters — back to the host between segments.
+//! Because the durable state lives host-side in a world-independent
+//! layout, three properties fall out:
+//!
+//! * **Bitwise resume.** Segment boundaries are exact: running
+//!   `run_steps(k)` + `checkpoint` + [`Trainer::resume`] + the remaining
+//!   steps produces the identical losses, gradients, and traffic counters
+//!   as one uninterrupted run (the resume determinism suite asserts it).
+//! * **Elastic worlds.** [`Trainer::resize`] just changes the geometry of
+//!   the *next* segment; parameters and moments re-shard automatically
+//!   because they are stored flat. After the resize point the trajectory
+//!   matches a fresh run at the final geometry.
+//! * **Rollback, not poison.** A collective that fails mid-step (after
+//!   the [`RuntimeOptions::comm_retries`] replay budget is exhausted)
+//!   aborts the segment at the last completed optimizer window: the data
+//!   RNG rewinds, gradients are zeroed, and the host pool dies with the
+//!   segment's executor. `run_steps` returns a typed [`TrainError`]; the
+//!   caller may simply call it again.
 
 use crate::chunk::ChunkPlan;
 use crate::offload::PoolStats;
+use crate::runtime::ckpt::{self, CkptError, StateDict, StateValue};
 use crate::runtime::data::Corpus;
 use crate::runtime::exec::{AttentionExec, DistAttention, LocalAttention, RingAttentionExec};
 use crate::runtime::gpt::GptModel;
 use crate::runtime::options::RuntimeOptions;
-use fpdt_comm::run_group;
-use fpdt_model::config::ModelConfig;
+use fpdt_comm::{run_group, CommStats, Communicator};
+use fpdt_model::config::{Family, ModelConfig};
 use fpdt_tensor::nn::{AdamW, AdamWConfig};
 use fpdt_trace::Recorder;
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Which training mode to run.
@@ -49,6 +78,39 @@ impl Mode {
 
     fn offload(&self) -> bool {
         matches!(self, Mode::Fpdt { offload: true, .. })
+    }
+
+    fn as_str(&self) -> String {
+        match self {
+            Mode::Single => "single".into(),
+            Mode::Ulysses => "ulysses".into(),
+            Mode::Ring => "ring".into(),
+            Mode::Fpdt { chunks, offload } => {
+                format!("fpdt:{chunks}:{}", u8::from(*offload))
+            }
+        }
+    }
+
+    fn parse(s: &str) -> Result<Mode, CkptError> {
+        match s {
+            "single" => Ok(Mode::Single),
+            "ulysses" => Ok(Mode::Ulysses),
+            "ring" => Ok(Mode::Ring),
+            _ => {
+                let rest = s
+                    .strip_prefix("fpdt:")
+                    .ok_or_else(|| CkptError::Corrupt(format!("unknown mode {s:?}")))?;
+                let (chunks, offload) = rest
+                    .split_once(':')
+                    .ok_or_else(|| CkptError::Corrupt(format!("unknown mode {s:?}")))?;
+                Ok(Mode::Fpdt {
+                    chunks: chunks
+                        .parse()
+                        .map_err(|_| CkptError::Corrupt(format!("bad chunk count in {s:?}")))?,
+                    offload: offload == "1",
+                })
+            }
+        }
     }
 }
 
@@ -87,9 +149,10 @@ pub struct TrainConfig {
     /// equivalence claims are schedule-independent.
     pub warmup_steps: usize,
     /// Runtime knobs (offload copy stream, asynchronous comm stream,
-    /// kernel threads), defaulting from the `FPDT_*` environment via
-    /// [`RuntimeOptions::from_env`]. The `offload` field is overridden by
-    /// [`Mode::Fpdt`]'s flag. Every setting is bitwise-invisible.
+    /// kernel threads, comm retry budget, fault injection), defaulting
+    /// from the `FPDT_*` environment via [`RuntimeOptions::from_env`]. The
+    /// `offload` field is overridden by [`Mode::Fpdt`]'s flag. Every
+    /// setting is bitwise-invisible.
     pub runtime: RuntimeOptions,
 }
 
@@ -117,6 +180,30 @@ impl TrainConfig {
             runtime: RuntimeOptions::from_env(),
         }
     }
+
+    /// Panics on a geometry the mode cannot run (the same contract the
+    /// original `train` entry point had).
+    fn validate(&self) {
+        if matches!(self.mode, Mode::Single) {
+            return;
+        }
+        let world = self.world;
+        if !matches!(self.mode, Mode::Ring) {
+            // Ring keeps full heads; Ulysses/FPDT scatter them.
+            assert!(
+                self.model.heads.is_multiple_of(world),
+                "heads must divide across ranks"
+            );
+            assert!(
+                self.model.kv_heads.is_multiple_of(world),
+                "kv heads must divide across ranks (Ulysses head scattering)"
+            );
+        }
+        assert!(
+            self.seq.is_multiple_of(world * self.mode.chunks()),
+            "sequence must divide into world x chunks segments"
+        );
+    }
 }
 
 /// Result of a training run.
@@ -132,49 +219,215 @@ pub struct TrainReport {
     /// Rank 0's per-collective traffic counters (empty for
     /// [`Mode::Single`]).
     pub comm: fpdt_comm::CommStats,
+    /// The last optimizer window's reduced (unscaled) gradients — what the
+    /// resume determinism suite compares bit for bit across interrupted
+    /// and uninterrupted runs.
+    pub grads: Vec<f32>,
 }
 
-fn training_loop(
-    cfg: &TrainConfig,
+/// Typed failure of a training segment.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A collective failed beyond the retry budget (or fatally).
+    Comm(fpdt_comm::CommError),
+    /// The executor failed outside the comm layer (shape bugs and the
+    /// like) — carried as text because executor errors are type-erased.
+    Exec(String),
+    /// Checkpoint save/restore failed.
+    Ckpt(CkptError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Comm(e) => write!(f, "training step failed in a collective: {e}"),
+            TrainError::Exec(e) => write!(f, "training step failed in the executor: {e}"),
+            TrainError::Ckpt(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Comm(e) => Some(e),
+            TrainError::Exec(_) => None,
+            TrainError::Ckpt(e) => Some(e),
+        }
+    }
+}
+
+impl From<fpdt_comm::CommError> for TrainError {
+    fn from(e: fpdt_comm::CommError) -> Self {
+        TrainError::Comm(e)
+    }
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        TrainError::Ckpt(e)
+    }
+}
+
+fn exec_error(e: Box<dyn std::error::Error + Send + Sync>) -> TrainError {
+    match e.downcast::<fpdt_comm::CommError>() {
+        Ok(comm) => TrainError::Comm(*comm),
+        Err(other) => TrainError::Exec(other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment machinery
+// ---------------------------------------------------------------------------
+
+/// Host-side state handed to a segment: everything a rank needs to rebuild
+/// its replica exactly where the previous segment stopped.
+struct SegmentIn {
+    /// Flat parameters ([`GptModel::for_each_param`] order).
+    params: Vec<f32>,
+    /// Flat first moments, same order and length as `params`.
+    m: Vec<f32>,
+    /// Flat second moments.
+    v: Vec<f32>,
+    /// Optimizer step counter (bias correction).
+    opt_step: u64,
+    /// Data-stream RNG words.
+    rng: [u64; 4],
+    /// Micro-steps completed before this segment (drives warmup).
+    base_step: usize,
+    /// Micro-steps to run (a multiple of `grad_accum`).
+    steps: usize,
+}
+
+/// One rank's segment result. All replicated fields (params, losses, rng)
+/// are identical across ranks by construction; moment vectors are this
+/// rank's ZeRO slice (or the full vector when dense).
+struct RankOut {
+    steps: usize,
+    losses: Vec<f32>,
+    params: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    opt_step: u64,
+    opt_bytes: usize,
+    rng: [u64; 4],
+    grads: Vec<f32>,
+    host: PoolStats,
+    comm: CommStats,
+    err: Option<TrainError>,
+}
+
+/// A collective with transient-fault replay: wraps
+/// [`Communicator::retrying`] (which tallies the retry counters) and marks
+/// each replay with a `recover.retry` trace event.
+fn retrying_traced<T>(
+    comm: &Communicator,
+    budget: usize,
+    recorder: Option<&Recorder>,
+    mut f: impl FnMut(&Communicator) -> fpdt_comm::Result<T>,
+) -> Result<T, TrainError> {
+    comm.retrying(budget, |c| {
+        let out = f(c);
+        if let (Err(e), Some(rec)) = (&out, recorder) {
+            if e.is_retryable() {
+                rec.event("recover.retry");
+            }
+        }
+        out
+    })
+    .map_err(TrainError::Comm)
+}
+
+/// One rank's place in the segment geometry: its index, the rank count,
+/// and the sequence shard plan (None when the whole sequence is local).
+struct RankCtx<'a> {
     rank: usize,
-    plan: Option<&ChunkPlan>,
+    world: usize,
+    plan: Option<&'a ChunkPlan>,
+}
+
+/// Runs one rank's share of a segment: rebuild the replica from the
+/// host-side state, run whole accumulation windows, and on a failed window
+/// roll back to the last step boundary (rewind the data RNG, zero the
+/// gradients) instead of committing partial state.
+fn run_rank_segment(
+    cfg: &TrainConfig,
+    ctx: &RankCtx<'_>,
     exec: &mut dyn AttentionExec,
     recorder: Option<&Recorder>,
-    mut sync_and_step: impl FnMut(&mut GptModel, &mut AdamW, f32, usize) -> (f32, usize),
-) -> (Vec<f32>, usize) {
+    seg: &SegmentIn,
+    mut sync_and_step: impl FnMut(
+        &mut GptModel,
+        &mut AdamW,
+        f32,
+        usize,
+    ) -> Result<(f32, usize, Vec<f32>), TrainError>,
+) -> RankOut {
+    let RankCtx { rank, world, plan } = *ctx;
     let mut model = GptModel::new(&cfg.model, cfg.seed);
     if let Some(rec) = recorder {
         model = model.with_recorder(rec.clone());
     }
+    model.set_params(&seg.params);
     let mut opt = AdamW::new(AdamWConfig {
         lr: cfg.lr,
         ..Default::default()
     });
+    let n = seg.params.len();
+    let zero = cfg.zero_shard && world > 1;
+    if zero {
+        // ZeRO-1: this rank owns one contiguous slice of the flat moment
+        // vectors, stored under the single parameter id 0.
+        let (lo, hi) = (rank * n / world, (rank + 1) * n / world);
+        opt.import_state(
+            seg.opt_step,
+            vec![(0, seg.m[lo..hi].to_vec(), seg.v[lo..hi].to_vec())],
+        );
+    } else {
+        // Dense: per-tensor moments keyed by visit order, sliced out of
+        // the flat vectors by each tensor's length.
+        let mut entries = Vec::new();
+        let mut off = 0usize;
+        let mut id = 0u64;
+        model.for_each_param(|p, _| {
+            let len = p.numel();
+            entries.push((
+                id,
+                seg.m[off..off + len].to_vec(),
+                seg.v[off..off + len].to_vec(),
+            ));
+            off += len;
+            id += 1;
+        });
+        opt.import_state(seg.opt_step, entries);
+    }
     let mut corpus = Corpus::new(cfg.model.vocab, 0.05, cfg.seed ^ 0x5eed);
+    corpus.set_rng_state(seg.rng);
+
     let mlp_chunks = 2 * cfg.mode.chunks();
     let loss_chunks = (cfg.model.vocab / cfg.model.hidden * 2).max(1);
     let accum = cfg.grad_accum.max(1);
-    let mut losses = Vec::with_capacity(cfg.steps / accum + 1);
-    let mut window_loss = 0.0f32;
-    let mut window_tokens = 0usize;
-    for step in 0..cfg.steps {
-        if step % accum == 0 {
-            model.zero_grad();
-            window_loss = 0.0;
-            window_tokens = 0;
-        }
-        let (gx, gy) = corpus.sample(cfg.seq);
-        let (tokens, targets, pos) = match plan {
-            Some(p) => (
-                p.shard(rank, &gx),
-                p.shard(rank, &gy),
-                p.local_positions(rank),
-            ),
-            None => (gx, gy, (0..cfg.seq).collect()),
-        };
-        let stats = if cfg.activation_checkpoint {
-            model
-                .forward_backward_checkpointed(
+    let mut losses = Vec::with_capacity(seg.steps / accum);
+    let mut grads = Vec::new();
+    let mut done = 0usize;
+    let mut err = None;
+    'windows: for w in 0..seg.steps / accum {
+        let rng_snap = corpus.rng_state();
+        model.zero_grad();
+        let mut window_loss = 0.0f32;
+        let mut window_tokens = 0usize;
+        for _micro in 0..accum {
+            let (gx, gy) = corpus.sample(cfg.seq);
+            let (tokens, targets, pos) = match plan {
+                Some(p) => (
+                    p.shard(rank, &gx),
+                    p.shard(rank, &gy),
+                    p.local_positions(rank),
+                ),
+                None => (gx, gy, (0..cfg.seq).collect()),
+            };
+            let fb = if cfg.activation_checkpoint {
+                model.forward_backward_checkpointed(
                     exec,
                     &tokens,
                     &targets,
@@ -182,30 +435,698 @@ fn training_loop(
                     mlp_chunks,
                     loss_chunks,
                 )
-                .expect("checkpointed forward/backward succeeds")
-        } else {
-            model
-                .forward_backward(exec, &tokens, &targets, &pos, mlp_chunks, loss_chunks)
-                .expect("forward/backward succeeds")
-        };
-        window_loss += stats.loss_sum;
-        window_tokens += stats.tokens;
-        if (step + 1) % accum == 0 {
-            // linear warmup on the optimizer-step counter
-            if cfg.warmup_steps > 0 {
-                let opt_step = (step + 1) / accum;
-                let frac = (opt_step as f32 / cfg.warmup_steps as f32).min(1.0);
-                opt.set_lr(cfg.lr * frac);
+            } else {
+                model.forward_backward(exec, &tokens, &targets, &pos, mlp_chunks, loss_chunks)
+            };
+            match fb {
+                Ok(stats) => {
+                    window_loss += stats.loss_sum;
+                    window_tokens += stats.tokens;
+                }
+                Err(e) => {
+                    err = Some(exec_error(e));
+                    corpus.set_rng_state(rng_snap);
+                    model.zero_grad();
+                    if let Some(rec) = recorder {
+                        rec.event("recover.rollback");
+                    }
+                    break 'windows;
+                }
             }
-            let (loss_sum, total_tokens) =
-                sync_and_step(&mut model, &mut opt, window_loss, window_tokens);
-            losses.push(loss_sum / total_tokens as f32);
+        }
+        // linear warmup on the *global* optimizer-step counter, so resumed
+        // segments continue the schedule exactly
+        if cfg.warmup_steps > 0 {
+            let opt_step_no = (seg.base_step + (w + 1) * accum) / accum;
+            let frac = (opt_step_no as f32 / cfg.warmup_steps as f32).min(1.0);
+            opt.set_lr(cfg.lr * frac);
+        }
+        match sync_and_step(&mut model, &mut opt, window_loss, window_tokens) {
+            Ok((loss_sum, total_tokens, g)) => {
+                losses.push(loss_sum / total_tokens as f32);
+                grads = g;
+                done += accum;
+            }
+            Err(e) => {
+                err = Some(e);
+                corpus.set_rng_state(rng_snap);
+                model.zero_grad();
+                if let Some(rec) = recorder {
+                    rec.event("recover.rollback");
+                }
+                break 'windows;
+            }
         }
     }
-    (losses, opt.state_bytes())
+
+    let params = model.collect_params();
+    let opt_bytes = opt.state_bytes();
+    let (opt_step, entries) = opt.export_state();
+    let (m, v) = if zero {
+        let (_, m, v) = entries.into_iter().next().expect("imported at entry");
+        (m, v)
+    } else {
+        let mut m = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        for (_, em, ev) in entries {
+            m.extend_from_slice(&em);
+            v.extend_from_slice(&ev);
+        }
+        (m, v)
+    };
+    RankOut {
+        steps: done,
+        losses,
+        params,
+        m,
+        v,
+        opt_step,
+        opt_bytes,
+        rng: corpus.rng_state(),
+        grads,
+        host: PoolStats::default(),
+        comm: CommStats::default(),
+        err,
+    }
+}
+
+/// Runs one segment at the configured geometry, returning every rank's
+/// result in rank order.
+fn run_segment(cfg: &TrainConfig, recorder: Option<&Recorder>, seg: &SegmentIn) -> Vec<RankOut> {
+    match cfg.mode {
+        Mode::Single => {
+            let mut exec = LocalAttention::new(1);
+            vec![run_rank_segment(
+                cfg,
+                &RankCtx {
+                    rank: 0,
+                    world: 1,
+                    plan: None,
+                },
+                &mut exec,
+                recorder,
+                seg,
+                |model, opt, ls, tok| {
+                    let flat = model.collect_grads();
+                    model.set_grads(&flat, 1.0 / tok as f32);
+                    model.optimizer_step(opt);
+                    Ok((ls, tok, flat))
+                },
+            )]
+        }
+        Mode::Ulysses | Mode::Ring | Mode::Fpdt { .. } => {
+            let world = cfg.world;
+            let chunks = cfg.mode.chunks();
+            let offload = cfg.mode.offload();
+            let retries = cfg.runtime.comm_retries;
+            run_group(world, |comm| {
+                let comm = Arc::new(comm);
+                let plan = ChunkPlan::new(cfg.seq, world, chunks).expect("validated by Trainer");
+                // SPMD-symmetric fault injection: every rank arms the same
+                // faults, so failures (and recoveries) stay collective.
+                if cfg.runtime.fault_inject > 0 {
+                    comm.inject_fault("all_gather", cfg.runtime.fault_inject);
+                }
+                let rank = comm.rank();
+                let mut dist_exec: Option<DistAttention> = None;
+                let mut ring_exec;
+                let exec: &mut dyn AttentionExec = if matches!(cfg.mode, Mode::Ring) {
+                    ring_exec = RingAttentionExec::new(&comm, cfg.seq);
+                    &mut ring_exec
+                } else {
+                    let opts = cfg.runtime.with_offload(offload);
+                    let mut ex = DistAttention::with_opts(Arc::clone(&comm), plan, opts);
+                    if let Some(rec) = recorder {
+                        ex = ex.with_recorder(rec.clone());
+                    }
+                    dist_exec = Some(ex);
+                    dist_exec.as_mut().expect("just set")
+                };
+                let sync = |model: &mut GptModel, opt: &mut AdamW, ls: f32, tok: usize| {
+                    // deterministic rank-order reductions; gradients go
+                    // through the chunked reducer (future-work fix: the
+                    // staging transient is capped at two buckets instead
+                    // of a flat copy of every gradient)
+                    const REDUCE_BUCKET: usize = 1 << 16;
+                    let scalars = retrying_traced(&comm, retries, recorder, |c| {
+                        c.all_reduce(&[ls, tok as f32])
+                    })?;
+                    let flat = model.collect_grads();
+                    let reduce_span = recorder
+                        .map(|r| r.span("allreduce.grads").bytes((flat.len() * 4) as u64));
+                    let reduced = retrying_traced(&comm, retries, recorder, |c| {
+                        c.all_reduce_chunked(&flat, REDUCE_BUCKET)
+                    })?;
+                    drop(reduce_span);
+                    let scale = 1.0 / scalars[1];
+                    if cfg.zero_shard {
+                        // ZeRO-1: this rank owns a contiguous slice of
+                        // the flat parameter vector; update it with its
+                        // own optimizer shard, then all-gather.
+                        let mut params = model.collect_params();
+                        let n = params.len();
+                        let (lo, hi) = (rank * n / world, (rank + 1) * n / world);
+                        let gshard: Vec<f32> =
+                            reduced[lo..hi].iter().map(|g| g * scale).collect();
+                        opt.begin_step();
+                        opt.update(0, &mut params[lo..hi], &gshard);
+                        let shards = retrying_traced(&comm, retries, recorder, |c| {
+                            c.all_gather(&params[lo..hi])
+                        })?;
+                        let full: Vec<f32> = shards.into_iter().flatten().collect();
+                        model.set_params(&full);
+                    } else {
+                        model.set_grads(&reduced, scale);
+                        model.optimizer_step(opt);
+                    }
+                    Ok((scalars[0], scalars[1] as usize, reduced))
+                };
+                let ctx = RankCtx {
+                    rank,
+                    world,
+                    plan: Some(&plan),
+                };
+                let mut out = run_rank_segment(cfg, &ctx, exec, recorder, seg, sync);
+                out.host = match cfg.mode {
+                    Mode::Ring => PoolStats::default(),
+                    _ => dist_exec
+                        .as_ref()
+                        .map(|e| e.host_stats())
+                        .unwrap_or_default(),
+                };
+                out.comm = comm.stats();
+                out
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Trainer
+// ---------------------------------------------------------------------------
+
+/// A resumable, fault-tolerant training session (see the module docs).
+///
+/// Durable state is held host-side between segments in a world-independent
+/// flat layout; `run_steps` executes whole accumulation windows on a fresh
+/// thread-device world and commits the results. [`Trainer::checkpoint`]
+/// cuts per-rank shards from that host state (no collective involved);
+/// [`Trainer::resume`] rebuilds a `Trainer` from a shard directory.
+#[derive(Debug)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    recorder: Option<Recorder>,
+    params: Vec<f32>,
+    opt_m: Vec<f32>,
+    opt_v: Vec<f32>,
+    opt_step: u64,
+    opt_state_bytes: usize,
+    rng: [u64; 4],
+    step: usize,
+    losses: Vec<f32>,
+    grads: Vec<f32>,
+    host: PoolStats,
+    comm: CommStats,
+}
+
+impl Trainer {
+    /// Initializes a session at step 0 (seeded weights, zero moments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (heads not divisible by world,
+    /// sequence not divisible by `world * chunks`) — the same contract
+    /// [`train`] always had.
+    pub fn new(cfg: TrainConfig) -> Self {
+        cfg.validate();
+        let mut model = GptModel::new(&cfg.model, cfg.seed);
+        let params = model.collect_params();
+        let n = params.len();
+        let rng = Corpus::new(cfg.model.vocab, 0.05, cfg.seed ^ 0x5eed).rng_state();
+        Trainer {
+            cfg,
+            recorder: None,
+            params,
+            opt_m: vec![0.0; n],
+            opt_v: vec![0.0; n],
+            opt_step: 0,
+            opt_state_bytes: 0,
+            rng,
+            step: 0,
+            losses: Vec::new(),
+            grads: Vec::new(),
+            host: PoolStats::default(),
+            comm: CommStats::default(),
+        }
+    }
+
+    /// Attaches a span recorder (same instrumentation as [`train_traced`],
+    /// plus `recover.retry` / `recover.rollback` events).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Micro-steps completed so far.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Replaces the runtime knobs for subsequent segments (retry budgets,
+    /// fault injection, payload precision — all bitwise-invisible except
+    /// where documented).
+    pub fn set_runtime(&mut self, runtime: RuntimeOptions) {
+        self.cfg.runtime = runtime;
+    }
+
+    /// Elastically resizes the thread-device world for subsequent
+    /// segments. Parameters and moments are stored flat and re-shard
+    /// automatically; only the geometry of the next segment changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model/sequence cannot divide across the new world
+    /// (same divisibility contract as [`Trainer::new`]).
+    pub fn resize(&mut self, world: usize) {
+        let mut cfg = self.cfg.clone();
+        cfg.world = world;
+        cfg.validate();
+        self.cfg = cfg;
+    }
+
+    /// Runs `n` micro-steps (whole accumulation windows) and commits the
+    /// resulting state. On a collective failure past the retry budget the
+    /// session rolls back to the last completed optimizer window and the
+    /// error is returned — call `run_steps` again to retry the remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Comm`] for collective failures, [`TrainError::Exec`]
+    /// for executor failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a multiple of `grad_accum` — segments must
+    /// align to optimizer windows or rollback boundaries would be
+    /// ambiguous.
+    pub fn run_steps(&mut self, n: usize) -> Result<(), TrainError> {
+        let accum = self.cfg.grad_accum.max(1);
+        assert!(
+            n.is_multiple_of(accum),
+            "run_steps({n}) must be a whole number of grad_accum={accum} windows"
+        );
+        if n == 0 {
+            return Ok(());
+        }
+        let seg = SegmentIn {
+            params: self.params.clone(),
+            m: self.opt_m.clone(),
+            v: self.opt_v.clone(),
+            opt_step: self.opt_step,
+            rng: self.rng,
+            base_step: self.step,
+            steps: n,
+        };
+        let mut outs = run_segment(&self.cfg, self.recorder.as_ref(), &seg);
+        let world = outs.len();
+        let zero = self.cfg.zero_shard && world > 1;
+        let (m, v) = if zero {
+            // reassemble the flat moment vectors from every rank's slice
+            // (slice bounds are the same integer division the next
+            // segment will use, so concatenation is exact at any world)
+            let mut m = Vec::with_capacity(self.params.len());
+            let mut v = Vec::with_capacity(self.params.len());
+            for o in &outs {
+                m.extend_from_slice(&o.m);
+                v.extend_from_slice(&o.v);
+            }
+            (m, v)
+        } else {
+            (std::mem::take(&mut outs[0].m), std::mem::take(&mut outs[0].v))
+        };
+        let r0 = outs.swap_remove(0);
+        self.params = r0.params;
+        self.opt_m = m;
+        self.opt_v = v;
+        self.opt_step = r0.opt_step;
+        self.opt_state_bytes = r0.opt_bytes;
+        self.rng = r0.rng;
+        self.step += r0.steps;
+        self.losses.extend(r0.losses);
+        if !r0.grads.is_empty() {
+            self.grads = r0.grads;
+        }
+        self.host.merge(&r0.host);
+        self.comm.merge(&r0.comm);
+        match r0.err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The accumulated report — identical to what [`train`] returns for an
+    /// uninterrupted run of the same steps.
+    pub fn report(&self) -> TrainReport {
+        TrainReport {
+            losses: self.losses.clone(),
+            host: self.host,
+            opt_state_bytes: self.opt_state_bytes,
+            comm: self.comm.clone(),
+            grads: self.grads.clone(),
+        }
+    }
+
+    /// Replicated (world-independent) metadata every shard carries.
+    fn meta_dict(&self) -> StateDict {
+        let cfg = &self.cfg;
+        let mut d = StateDict::new();
+        d.insert("cfg.model.name", StateValue::Str(cfg.model.name.clone()));
+        d.insert(
+            "cfg.model.family",
+            StateValue::Str(
+                match cfg.model.family {
+                    Family::Gpt => "gpt",
+                    Family::Llama => "llama",
+                }
+                .into(),
+            ),
+        );
+        d.insert(
+            "cfg.model.dims",
+            StateValue::U64(vec![
+                cfg.model.layers as u64,
+                cfg.model.hidden as u64,
+                cfg.model.heads as u64,
+                cfg.model.kv_heads as u64,
+                cfg.model.ffn_hidden as u64,
+                cfg.model.vocab as u64,
+            ]),
+        );
+        d.insert(
+            "cfg.train",
+            StateValue::U64(vec![
+                cfg.world as u64,
+                cfg.seq as u64,
+                cfg.steps as u64,
+                cfg.grad_accum as u64,
+                cfg.warmup_steps as u64,
+                u64::from(cfg.zero_shard),
+                u64::from(cfg.activation_checkpoint),
+                cfg.seed,
+            ]),
+        );
+        d.insert("cfg.lr", StateValue::F32(vec![cfg.lr]));
+        d.insert("cfg.mode", StateValue::Str(cfg.mode.as_str()));
+        d.insert("trainer.step", StateValue::U64(vec![self.step as u64]));
+        d.insert("opt.step", StateValue::U64(vec![self.opt_step]));
+        d.insert(
+            "opt.state_bytes",
+            StateValue::U64(vec![self.opt_state_bytes as u64]),
+        );
+        d.insert("rng.state", StateValue::U64(self.rng.to_vec()));
+        d.insert("trainer.losses", StateValue::F32(self.losses.clone()));
+        d.insert("trainer.grads", StateValue::F32(self.grads.clone()));
+        d.insert(
+            "stats.pool",
+            StateValue::U64(vec![
+                self.host.offloads,
+                self.host.fetches,
+                self.host.bytes,
+                self.host.peak_bytes,
+                self.host.bytes_offloaded,
+                self.host.bytes_fetched,
+            ]),
+        );
+        d.insert(
+            "stats.comm.ops",
+            StateValue::Str(
+                self.comm
+                    .ops
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ),
+        );
+        d.insert(
+            "stats.comm.counts",
+            StateValue::U64(
+                self.comm
+                    .ops
+                    .iter()
+                    .flat_map(|(_, s)| [s.sends, s.recvs, s.bytes_sent, s.bytes_recv])
+                    .collect(),
+            ),
+        );
+        d.insert(
+            "stats.comm.recovery",
+            StateValue::U64(vec![self.comm.faults, self.comm.retries]),
+        );
+        d
+    }
+
+    /// Writes a sharded checkpoint: one `shard-{rank}-of-{world}.fpdt`
+    /// per configured rank, each holding the replicated metadata plus that
+    /// rank's contiguous slice of the flat parameters and moments. Cut
+    /// from host state at a segment boundary, so no collective (and no
+    /// live world) is involved.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CkptError`]s for any filesystem failure.
+    pub fn checkpoint(&self, dir: &Path) -> Result<(), CkptError> {
+        let world = self.cfg.world.max(1);
+        let n = self.params.len();
+        for rank in 0..world {
+            let (lo, hi) = (rank * n / world, (rank + 1) * n / world);
+            let mut d = self.meta_dict();
+            d.insert("meta.rank", StateValue::U64(vec![rank as u64]));
+            d.insert(
+                "model.params.shard",
+                StateValue::F32(self.params[lo..hi].to_vec()),
+            );
+            d.insert("opt.m.shard", StateValue::F32(self.opt_m[lo..hi].to_vec()));
+            d.insert("opt.v.shard", StateValue::F32(self.opt_v[lo..hi].to_vec()));
+            ckpt::write_shard(dir, rank, world, &d)?;
+        }
+        Ok(())
+    }
+
+    /// [`Trainer::checkpoint`] into the `FPDT_CKPT_DIR` directory, when
+    /// set. Returns the directory written to, or `None` when the knob is
+    /// unset.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::checkpoint`].
+    pub fn checkpoint_default(&self) -> Result<Option<PathBuf>, CkptError> {
+        match crate::runtime::options::env_ckpt_dir() {
+            Some(dir) => {
+                self.checkpoint(&dir)?;
+                Ok(Some(dir))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Rebuilds a session from a sharded checkpoint directory. The
+    /// training configuration is restored from the shards; runtime knobs
+    /// come from the current `FPDT_*` environment (they are policy, not
+    /// state).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CkptError`]s: missing or extra shards, truncation, version
+    /// mismatches, replicated metadata that disagrees between shards, or
+    /// state that does not fit the recorded architecture.
+    pub fn resume(dir: &Path) -> Result<Self, CkptError> {
+        let paths = ckpt::shard_paths(dir)?;
+        let shards: Vec<StateDict> = paths
+            .iter()
+            .map(|p| ckpt::read_shard(p))
+            .collect::<Result<_, _>>()?;
+        let meta = &shards[0];
+        let dims = meta.u64s("cfg.model.dims")?;
+        if dims.len() != 6 {
+            return Err(CkptError::Corrupt(format!(
+                "cfg.model.dims has {} fields",
+                dims.len()
+            )));
+        }
+        let family = match meta.str("cfg.model.family")? {
+            "gpt" => Family::Gpt,
+            "llama" => Family::Llama,
+            other => {
+                return Err(CkptError::Corrupt(format!("unknown model family {other:?}")))
+            }
+        };
+        let model = ModelConfig {
+            name: meta.str("cfg.model.name")?.to_string(),
+            family,
+            layers: dims[0] as usize,
+            hidden: dims[1] as usize,
+            heads: dims[2] as usize,
+            kv_heads: dims[3] as usize,
+            ffn_hidden: dims[4] as usize,
+            vocab: dims[5] as usize,
+        };
+        let t = meta.u64s("cfg.train")?;
+        if t.len() != 8 {
+            return Err(CkptError::Corrupt(format!("cfg.train has {} fields", t.len())));
+        }
+        if t[0] as usize != shards.len() {
+            return Err(CkptError::Corrupt(format!(
+                "config world {} disagrees with {} shards",
+                t[0],
+                shards.len()
+            )));
+        }
+        let lr_entry = meta.f32s("cfg.lr")?;
+        let cfg = TrainConfig {
+            model,
+            world: t[0] as usize,
+            seq: t[1] as usize,
+            steps: t[2] as usize,
+            grad_accum: t[3] as usize,
+            warmup_steps: t[4] as usize,
+            zero_shard: t[5] != 0,
+            activation_checkpoint: t[6] != 0,
+            seed: t[7],
+            lr: *lr_entry.first().ok_or_else(|| {
+                CkptError::Corrupt("cfg.lr is empty".into())
+            })?,
+            mode: Mode::parse(meta.str("cfg.mode")?)?,
+            runtime: RuntimeOptions::from_env(),
+        };
+        cfg.validate();
+
+        let mut params = Vec::new();
+        let mut m = Vec::new();
+        let mut v = Vec::new();
+        for (rank, shard) in shards.iter().enumerate() {
+            if shard.u64_scalar("meta.rank")? != rank as u64 {
+                return Err(CkptError::Corrupt(format!(
+                    "shard {rank} carries the wrong rank id"
+                )));
+            }
+            for key in ["trainer.step", "opt.step"] {
+                if shard.u64_scalar(key)? != meta.u64_scalar(key)? {
+                    return Err(CkptError::Corrupt(format!(
+                        "replicated {key} disagrees between shards 0 and {rank}"
+                    )));
+                }
+            }
+            params.extend_from_slice(shard.f32s("model.params.shard")?);
+            m.extend_from_slice(shard.f32s("opt.m.shard")?);
+            v.extend_from_slice(shard.f32s("opt.v.shard")?);
+        }
+        let expected = GptModel::new(&cfg.model, cfg.seed).param_count();
+        if params.len() != expected {
+            return Err(CkptError::Corrupt(format!(
+                "shards hold {} parameters, architecture expects {expected}",
+                params.len()
+            )));
+        }
+        if m.len() != expected || v.len() != expected {
+            return Err(CkptError::Corrupt(format!(
+                "moment vectors ({}, {}) do not match {expected} parameters",
+                m.len(),
+                v.len()
+            )));
+        }
+
+        let rng_words = meta.u64s("rng.state")?;
+        let rng: [u64; 4] = rng_words.try_into().map_err(|_| {
+            CkptError::Corrupt(format!("rng.state has {} words", rng_words.len()))
+        })?;
+        let pool = meta.u64s("stats.pool")?;
+        if pool.len() != 6 {
+            return Err(CkptError::Corrupt(format!(
+                "stats.pool has {} fields",
+                pool.len()
+            )));
+        }
+        let host = PoolStats {
+            offloads: pool[0],
+            fetches: pool[1],
+            bytes: pool[2],
+            peak_bytes: pool[3],
+            bytes_offloaded: pool[4],
+            bytes_fetched: pool[5],
+        };
+        let op_names: Vec<&str> = {
+            let raw = meta.str("stats.comm.ops")?;
+            if raw.is_empty() {
+                Vec::new()
+            } else {
+                raw.split('\n').collect()
+            }
+        };
+        let counts = meta.u64s("stats.comm.counts")?;
+        if counts.len() != op_names.len() * 4 {
+            return Err(CkptError::Corrupt(format!(
+                "stats.comm.counts has {} values for {} ops",
+                counts.len(),
+                op_names.len()
+            )));
+        }
+        let recovery = meta.u64s("stats.comm.recovery")?;
+        if recovery.len() != 2 {
+            return Err(CkptError::Corrupt(format!(
+                "stats.comm.recovery has {} fields",
+                recovery.len()
+            )));
+        }
+        let comm = CommStats {
+            ops: op_names
+                .iter()
+                .zip(counts.chunks_exact(4))
+                .map(|(name, c)| {
+                    (
+                        name.to_string(),
+                        fpdt_comm::OpStats {
+                            sends: c[0],
+                            recvs: c[1],
+                            bytes_sent: c[2],
+                            bytes_recv: c[3],
+                        },
+                    )
+                })
+                .collect(),
+            recv_wait: std::time::Duration::ZERO,
+            faults: recovery[0],
+            retries: recovery[1],
+        };
+
+        Ok(Trainer {
+            step: meta.u64_scalar("trainer.step")? as usize,
+            opt_step: meta.u64_scalar("opt.step")?,
+            opt_state_bytes: meta.u64_scalar("opt.state_bytes")? as usize,
+            losses: meta.f32s("trainer.losses")?.to_vec(),
+            grads: meta.f32s("trainer.grads")?.to_vec(),
+            cfg,
+            recorder: None,
+            params,
+            opt_m: m,
+            opt_v: v,
+            rng,
+            host,
+            comm,
+        })
+    }
 }
 
 /// Runs a training experiment, returning the per-step mean losses.
+///
+/// A thin wrapper over [`Trainer`]: `Trainer::new(cfg)` + one
+/// `run_steps` segment covering every whole accumulation window in
+/// `cfg.steps`.
 ///
 /// # Panics
 ///
@@ -225,115 +1146,15 @@ pub fn train(cfg: &TrainConfig) -> TrainReport {
 ///
 /// Same conditions as [`train`].
 pub fn train_traced(cfg: &TrainConfig, recorder: Option<&Recorder>) -> TrainReport {
-    match cfg.mode {
-        Mode::Single => {
-            let mut exec = LocalAttention::new(1);
-            let (losses, opt_state_bytes) =
-                training_loop(cfg, 0, None, &mut exec, recorder, |model, opt, ls, tok| {
-                    let flat = model.collect_grads();
-                    model.set_grads(&flat, 1.0 / tok as f32);
-                    model.optimizer_step(opt);
-                    (ls, tok)
-                });
-            TrainReport {
-                losses,
-                host: PoolStats::default(),
-                opt_state_bytes,
-                comm: fpdt_comm::CommStats::default(),
-            }
-        }
-        Mode::Ulysses | Mode::Ring | Mode::Fpdt { .. } => {
-            let world = cfg.world;
-            if !matches!(cfg.mode, Mode::Ring) {
-                // Ring keeps full heads; Ulysses/FPDT scatter them.
-                assert!(
-                    cfg.model.heads.is_multiple_of(world),
-                    "heads must divide across ranks"
-                );
-                assert!(
-                    cfg.model.kv_heads.is_multiple_of(world),
-                    "kv heads must divide across ranks (Ulysses head scattering)"
-                );
-            }
-            let chunks = cfg.mode.chunks();
-            assert!(
-                cfg.seq.is_multiple_of(world * chunks),
-                "sequence must divide into world x chunks segments"
-            );
-            let offload = cfg.mode.offload();
-            let mut results = run_group(world, |comm| {
-                let comm = Arc::new(comm);
-                let plan = ChunkPlan::new(cfg.seq, world, chunks).expect("validated above");
-                let mut dist_exec: Option<DistAttention> = None;
-                let mut ring_exec;
-                let exec: &mut dyn AttentionExec = if matches!(cfg.mode, Mode::Ring) {
-                    ring_exec = RingAttentionExec::new(&comm, cfg.seq);
-                    &mut ring_exec
-                } else {
-                    let opts = cfg.runtime.with_offload(offload);
-                    let mut ex = DistAttention::with_opts(Arc::clone(&comm), plan, opts);
-                    if let Some(rec) = recorder {
-                        ex = ex.with_recorder(rec.clone());
-                    }
-                    dist_exec = Some(ex);
-                    dist_exec.as_mut().expect("just set")
-                };
-                let rank = comm.rank();
-                let (losses, opt_bytes) =
-                    training_loop(cfg, rank, Some(&plan), exec, recorder, |model, opt, ls, tok| {
-                        // deterministic rank-order reductions; gradients go
-                        // through the chunked reducer (future-work fix: the
-                        // staging transient is capped at two buckets instead
-                        // of a flat copy of every gradient)
-                        const REDUCE_BUCKET: usize = 1 << 16;
-                        let scalars = comm.all_reduce(&[ls, tok as f32]).expect("group alive");
-                        let flat = model.collect_grads();
-                        let reduce_span = recorder
-                            .map(|r| r.span("allreduce.grads").bytes((flat.len() * 4) as u64));
-                        let reduced = comm
-                            .all_reduce_chunked(&flat, REDUCE_BUCKET)
-                            .expect("group alive");
-                        drop(reduce_span);
-                        let scale = 1.0 / scalars[1];
-                        if cfg.zero_shard {
-                            // ZeRO-1: this rank owns a contiguous slice of
-                            // the flat parameter vector; update it with its
-                            // own optimizer shard, then all-gather.
-                            let mut params = model.collect_params();
-                            let n = params.len();
-                            let (lo, hi) = (rank * n / world, (rank + 1) * n / world);
-                            let gshard: Vec<f32> =
-                                reduced[lo..hi].iter().map(|g| g * scale).collect();
-                            opt.begin_step();
-                            opt.update(0, &mut params[lo..hi], &gshard);
-                            let shards =
-                                comm.all_gather(&params[lo..hi]).expect("group alive");
-                            let full: Vec<f32> = shards.into_iter().flatten().collect();
-                            model.set_params(&full);
-                        } else {
-                            model.set_grads(&reduced, scale);
-                            model.optimizer_step(opt);
-                        }
-                        (scalars[0], scalars[1] as usize)
-                    });
-                let host = match cfg.mode {
-                    Mode::Ring => PoolStats::default(),
-                    _ => dist_exec
-                        .as_ref()
-                        .map(|e| e.host_stats())
-                        .unwrap_or_default(),
-                };
-                (losses, host, opt_bytes, comm.stats())
-            });
-            let (losses, host, opt_state_bytes, comm) = results.remove(0);
-            TrainReport {
-                losses,
-                host,
-                opt_state_bytes,
-                comm,
-            }
-        }
+    let mut trainer = Trainer::new(cfg.clone());
+    if let Some(rec) = recorder {
+        trainer = trainer.with_recorder(rec.clone());
     }
+    let accum = cfg.grad_accum.max(1);
+    trainer
+        .run_steps(cfg.steps / accum * accum)
+        .expect("training step failed");
+    trainer.report()
 }
 
 /// Test fixture: [`TrainConfig::small`] with f32 payloads pinned. The

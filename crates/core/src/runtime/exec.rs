@@ -144,37 +144,11 @@ pub fn prefetch_default() -> bool {
     super::options::env_flag("FPDT_PREFETCH", true)
 }
 
-/// Legacy offload knob pair for [`DistAttention`], kept as a thin view
-/// onto [`RuntimeOptions`] (which adds the comm-stream and kernel knobs)
-/// so existing call sites keep compiling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecOpts {
-    /// When true, cached chunks live in the host pool ("host memory");
-    /// otherwise in a device-side map. Numerically identical — the flag
-    /// models where the bytes live, observable via
-    /// [`DistAttention::host_stats`].
-    pub offload: bool,
-    /// Run offload transfers on the asynchronous copy stream, with the
-    /// forward and Figure-7 backward double-buffering the next KV chunk
-    /// behind the current chunk's compute (paper Figure 13). Defaults
-    /// from [`prefetch_default`]. Only meaningful with `offload`.
-    pub prefetch: bool,
-}
-
-impl ExecOpts {
-    /// Options for an executor with the given offload flag and the
-    /// environment-default prefetch setting.
-    pub fn new(offload: bool) -> Self {
-        ExecOpts {
-            offload,
-            prefetch: prefetch_default(),
-        }
-    }
-}
-
-/// A posted all-to-all whose payload has not been needed yet.
-type PendingTensor = Pending<ExecResult<Tensor>>;
-type PendingQkv = Pending<ExecResult<(Tensor, Tensor, Tensor)>>;
+/// A posted all-to-all whose payload has not been needed yet. Posted ops
+/// carry the comm layer's typed error so transient faults stay
+/// distinguishable (and replayable) until the handle resolves.
+type PendingTensor = Pending<fpdt_comm::Result<Tensor>>;
+type PendingQkv = Pending<fpdt_comm::Result<(Tensor, Tensor, Tensor)>>;
 
 /// Distributed chunked attention: Ulysses all-to-all per chunk posted on
 /// an asynchronous communication stream, streaming online attention, host
@@ -217,18 +191,15 @@ impl DistAttention {
         Self::with_opts(comm, plan, RuntimeOptions::from_env().with_offload(offload))
     }
 
-    /// Creates the executor for one rank with explicit options (accepts
-    /// [`RuntimeOptions`] or the legacy [`ExecOpts`] pair).
-    pub fn with_opts(
-        comm: Arc<Communicator>,
-        plan: ChunkPlan,
-        opts: impl Into<RuntimeOptions>,
-    ) -> Self {
-        let opts = opts.into();
+    /// Creates the executor for one rank with explicit options — the one
+    /// options surface is [`RuntimeOptions`].
+    pub fn with_opts(comm: Arc<Communicator>, plan: ChunkPlan, opts: RuntimeOptions) -> Self {
         let mut host = OffloadEngine::new(opts.offload && opts.prefetch);
         host.set_payload_bf16(opts.payload_bf16);
+        let mut engine = CommEngine::new(Arc::clone(&comm), opts.comm_async);
+        engine.set_retries(opts.comm_retries);
         DistAttention {
-            engine: CommEngine::new(Arc::clone(&comm), opts.comm_async),
+            engine,
             comm,
             plan,
             opts,
@@ -347,7 +318,7 @@ impl DistAttention {
     fn fwd_layout(&mut self, shape: &[usize]) -> ExecResult<AllToAllLayout> {
         let world = self.comm.world();
         cached_layout(&mut self.fwd_layouts, shape, || {
-            AllToAllLayout::scatter_heads(shape, world)
+            Ok(AllToAllLayout::scatter_heads(shape, world)?)
         })
     }
 
@@ -355,7 +326,7 @@ impl DistAttention {
     fn inv_layout(&mut self, shape: &[usize]) -> ExecResult<AllToAllLayout> {
         let world = self.comm.world();
         cached_layout(&mut self.inv_layouts, shape, || {
-            AllToAllLayout::scatter_seq(shape, world)
+            Ok(AllToAllLayout::scatter_seq(shape, world)?)
         })
     }
 
@@ -380,7 +351,7 @@ impl DistAttention {
         let bytes = (elems * self.wire_elem_bytes()) as u64;
         let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.scatter_heads", elems);
-        Ok(self.engine.post(bytes, move |comm| {
+        Ok(self.engine.post_replayed(bytes, move |comm| {
             let apply = |l: &AllToAllLayout, t: &Tensor| {
                 if bf16 {
                     l.apply_bf16(comm, t)
@@ -403,7 +374,7 @@ impl DistAttention {
         let bytes = (elems * self.wire_elem_bytes()) as u64;
         let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.scatter_heads", elems);
-        Ok(self.engine.post(bytes, move |comm| {
+        Ok(self.engine.post_replayed(bytes, move |comm| {
             if bf16 {
                 layout.apply_bf16(comm, &t)
             } else {
@@ -420,7 +391,7 @@ impl DistAttention {
         let bytes = (elems * self.wire_elem_bytes()) as u64;
         let bf16 = self.opts.payload_bf16;
         let _s = self.span("a2a.gather_heads", elems);
-        Ok(self.engine.post(bytes, move |comm| {
+        Ok(self.engine.post_replayed(bytes, move |comm| {
             if bf16 {
                 layout.apply_bf16(comm, &t)
             } else {
@@ -873,7 +844,7 @@ impl AttentionExec for DistAttention {
             let parts = handles
                 .into_iter()
                 .map(Pending::wait)
-                .collect::<ExecResult<Vec<Tensor>>>()?;
+                .collect::<fpdt_comm::Result<Vec<Tensor>>>()?;
             let refs: Vec<&Tensor> = parts.iter().collect();
             Ok(Tensor::concat(&refs, 0)?)
         };
@@ -1430,10 +1401,9 @@ mod tests {
                     let refs: Vec<&Tensor> = parts.iter().collect();
                     Tensor::concat(&refs, 0).unwrap()
                 };
-                let opts = ExecOpts {
-                    offload: true,
-                    prefetch,
-                };
+                let opts = RuntimeOptions::from_env()
+                    .with_offload(true)
+                    .with_prefetch(prefetch);
                 let mut ex = DistAttention::with_opts(Arc::new(comm), plan, opts);
                 let o = ex
                     .forward(0, &shard(&q), &shard(&k), &shard(&v), &pos)

@@ -13,11 +13,15 @@
 //!   Figure 14: baseline and FPDT loss curves coincide.
 //! * [`options`] — [`RuntimeOptions`], the single builder behind every
 //!   runtime knob (offload, prefetch, comm stream, kernel threads).
+//! * [`ckpt`] — sharded, versioned checkpoint state: the
+//!   [`Checkpointable`](ckpt::Checkpointable) trait plus per-rank shard
+//!   files behind the resumable [`dist::Trainer`].
 //! * [`autotune`] — trace-calibrated autotuning: probe a short run,
 //!   fit the simulator's cost constants from its spans, and search the
 //!   knob space for the predicted-fastest configuration.
 
 pub mod autotune;
+pub mod ckpt;
 pub mod data;
 pub mod dist;
 pub mod exec;
@@ -25,5 +29,6 @@ pub mod gpt;
 pub mod options;
 
 pub use autotune::{autotune, AutotuneOutcome, Calibration, CandidateConfig, Workload};
-pub use dist::{train, train_traced, Mode, TrainConfig, TrainReport};
+pub use ckpt::{Checkpointable, CkptError, StateDict, StateValue};
+pub use dist::{train, train_traced, Mode, TrainConfig, TrainError, TrainReport, Trainer};
 pub use options::RuntimeOptions;

@@ -1,12 +1,14 @@
 //! The single front door for every runtime knob.
 //!
-//! Before this module, tuning was scattered: [`ExecOpts`] carried
-//! `offload`/`prefetch`, `TrainConfig` had its own optional override,
+//! Before this module, tuning was scattered: the executor carried its own
+//! `offload`/`prefetch` pair, `TrainConfig` had its own optional override,
 //! the kernel pool read `FPDT_THREADS`, the tensor ops read
 //! `FPDT_PAR_THRESHOLD`, and the offload stream read `FPDT_PREFETCH` —
 //! each with its own parsing. [`RuntimeOptions`] collapses them into one
 //! builder with one documented [`RuntimeOptions::from_env`], so "what is
-//! this run actually configured to do?" has a single answer.
+//! this run actually configured to do?" has a single answer. (The legacy
+//! `ExecOpts` pair and its `From` shims are gone; the builder is the one
+//! options surface.)
 //!
 //! Every knob except `payload_bf16` is a *pure system* toggle: losses,
 //! gradients, and communication statistics are bitwise identical across
@@ -26,8 +28,9 @@
 //! | `FPDT_BF16`          | bf16 offload/all-to-all payloads (same)      | off     |
 //! | `FPDT_THREADS`       | kernel pool thread budget                    | num CPUs|
 //! | `FPDT_PAR_THRESHOLD` | min elements before kernels split            | 4096    |
-
-use super::exec::ExecOpts;
+//! | `FPDT_COMM_RETRIES`  | replay budget for transient collective faults| 0       |
+//! | `FPDT_FAULT_INJECT`  | transient faults armed per training segment  | 0       |
+//! | `FPDT_CKPT_DIR`      | default checkpoint directory (string)        | unset   |
 
 /// Parses the shared flag syntax: unset means `default`; `0`, `false`,
 /// or `off` disable; any other value enables.
@@ -45,6 +48,20 @@ pub(crate) fn env_flag(name: &str, default: bool) -> bool {
 /// once and falling back to `None` on anything malformed.
 fn env_usize(name: &str) -> Option<usize> {
     fpdt_tensor::env::usize_knob(name)
+}
+
+/// Reads a budget-valued knob strictly (trimmed decimal, `0` allowed),
+/// warning once and falling back to `None` on anything malformed.
+fn env_budget(name: &str) -> Option<usize> {
+    fpdt_tensor::env::budget_knob(name)
+}
+
+/// The default checkpoint directory, from `FPDT_CKPT_DIR` (trimmed;
+/// empty/whitespace warns once and reads as unset). Lives here — not in
+/// [`RuntimeOptions`] — so the options struct stays `Copy` across the
+/// autotune grid; `Trainer::checkpoint_default` is the consumer.
+pub fn env_ckpt_dir() -> Option<std::path::PathBuf> {
+    fpdt_tensor::env::string_knob("FPDT_CKPT_DIR").map(std::path::PathBuf::from)
 }
 
 /// Every runtime knob, in one place, with a builder for overrides.
@@ -89,6 +106,17 @@ pub struct RuntimeOptions {
     /// Parallel-split threshold override (`None` = leave the tensor ops
     /// at their `FPDT_PAR_THRESHOLD`-derived setting).
     pub par_threshold: Option<usize>,
+    /// Replay budget for transient collective faults (`FPDT_COMM_RETRIES`,
+    /// default 0 = fail fast): how many extra attempts each collective
+    /// gets before the step aborts and rolls back. Recovery re-runs the
+    /// identical collective, so results are bitwise unchanged by retries.
+    pub comm_retries: usize,
+    /// Transient faults armed per training segment (`FPDT_FAULT_INJECT`,
+    /// default 0) — the fault-injection harness the recovery CI leg
+    /// drives. Each armed fault fails one grad-reduction collective
+    /// attempt before any bytes move; with `comm_retries` at least this
+    /// large, training completes with identical results.
+    pub fault_inject: usize,
 }
 
 impl RuntimeOptions {
@@ -106,6 +134,8 @@ impl RuntimeOptions {
             payload_bf16: env_flag("FPDT_BF16", false),
             threads: env_usize("FPDT_THREADS"),
             par_threshold: env_usize("FPDT_PAR_THRESHOLD"),
+            comm_retries: env_budget("FPDT_COMM_RETRIES").unwrap_or(0),
+            fault_inject: env_budget("FPDT_FAULT_INJECT").unwrap_or(0),
         }
     }
 
@@ -158,6 +188,21 @@ impl RuntimeOptions {
         self
     }
 
+    /// Sets the transient-fault replay budget.
+    #[must_use]
+    pub fn with_comm_retries(mut self, comm_retries: usize) -> Self {
+        self.comm_retries = comm_retries;
+        self
+    }
+
+    /// Arms `fault_inject` transient faults per training segment (the
+    /// fault-injection harness; 0 disables).
+    #[must_use]
+    pub fn with_fault_inject(mut self, fault_inject: usize) -> Self {
+        self.fault_inject = fault_inject;
+        self
+    }
+
     /// Probes, fits, and searches the runtime knob space for `workload`
     /// (see [`crate::runtime::autotune`]), returning the
     /// predicted-fastest options. The chunk count the search picked
@@ -191,33 +236,12 @@ impl Default for RuntimeOptions {
     }
 }
 
-/// Existing `ExecOpts` call sites keep compiling: the executor accepts
-/// `impl Into<RuntimeOptions>`, and the legacy pair picks up the
-/// environment's comm-stream setting.
-impl From<ExecOpts> for RuntimeOptions {
-    fn from(opts: ExecOpts) -> Self {
-        RuntimeOptions::from_env()
-            .with_offload(opts.offload)
-            .with_prefetch(opts.prefetch)
-    }
-}
-
-/// Narrowing view for code that only cares about the offload pair.
-impl From<RuntimeOptions> for ExecOpts {
-    fn from(opts: RuntimeOptions) -> Self {
-        ExecOpts {
-            offload: opts.offload,
-            prefetch: opts.prefetch,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn builder_chains_and_roundtrips_exec_opts() {
+    fn builder_chains_every_knob() {
         let opts = RuntimeOptions::from_env()
             .with_offload(true)
             .with_prefetch(false)
@@ -225,17 +249,41 @@ mod tests {
             .with_balanced(false)
             .with_payload_bf16(true)
             .with_threads(3)
-            .with_par_threshold(1);
+            .with_par_threshold(1)
+            .with_comm_retries(2)
+            .with_fault_inject(1);
         assert!(opts.offload && !opts.prefetch && !opts.comm_async);
         assert!(!opts.balanced);
         assert!(opts.payload_bf16);
         assert_eq!(opts.threads, Some(3));
         assert_eq!(opts.par_threshold, Some(1));
+        assert_eq!(opts.comm_retries, 2);
+        assert_eq!(opts.fault_inject, 1);
+    }
 
-        let legacy = ExecOpts::from(opts);
-        assert!(legacy.offload && !legacy.prefetch);
-        let back = RuntimeOptions::from(legacy);
-        assert!(back.offload && !back.prefetch);
+    #[test]
+    fn retry_budget_env_allows_zero_and_rejects_garbage() {
+        std::env::set_var("FPDT_TEST_RETRIES", "0");
+        assert_eq!(env_budget("FPDT_TEST_RETRIES"), Some(0), "0 is a budget");
+        std::env::set_var("FPDT_TEST_RETRIES", "3");
+        assert_eq!(env_budget("FPDT_TEST_RETRIES"), Some(3));
+        std::env::set_var("FPDT_TEST_RETRIES", "many");
+        assert_eq!(env_budget("FPDT_TEST_RETRIES"), None, "malformed falls back");
+        std::env::remove_var("FPDT_TEST_RETRIES");
+        assert_eq!(env_budget("FPDT_TEST_RETRIES"), None);
+    }
+
+    #[test]
+    fn ckpt_dir_env_is_trimmed_and_strict() {
+        // env_ckpt_dir reads the real variable; exercise the underlying
+        // strict parse on a dedicated name to avoid races, then the real
+        // accessor with the variable unset.
+        use fpdt_tensor::env::string_knob;
+        std::env::set_var("FPDT_TEST_CKPT_DIR", " ckpts/run1 ");
+        assert_eq!(string_knob("FPDT_TEST_CKPT_DIR").as_deref(), Some("ckpts/run1"));
+        std::env::set_var("FPDT_TEST_CKPT_DIR", "   ");
+        assert_eq!(string_knob("FPDT_TEST_CKPT_DIR"), None, "empty is unset");
+        std::env::remove_var("FPDT_TEST_CKPT_DIR");
     }
 
     #[test]

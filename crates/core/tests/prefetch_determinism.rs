@@ -14,7 +14,8 @@ use fpdt_comm::run_group;
 use fpdt_core::chunk::ChunkPlan;
 use fpdt_core::runtime::data::Corpus;
 use fpdt_core::runtime::dist::{train, Mode, TrainConfig};
-use fpdt_core::runtime::exec::{DistAttention, ExecOpts};
+use fpdt_core::runtime::exec::DistAttention;
+use fpdt_core::runtime::options::RuntimeOptions;
 use fpdt_core::runtime::gpt::GptModel;
 use fpdt_model::config::ModelConfig;
 use fpdt_tensor::par;
@@ -47,8 +48,9 @@ impl Drop for ForcedParallel<'_> {
     }
 }
 
-/// One full forward/backward of the distributed model with an explicit
-/// [`ExecOpts`]; returns every rank's (loss_sum, flat gradient vector).
+/// One full forward/backward of the distributed model with explicit
+/// [`RuntimeOptions`]; returns every rank's (loss_sum, flat gradient
+/// vector).
 /// Same fixture as `thread_determinism.rs::grad_run`, 4 chunks.
 fn grad_run(seed: u64, world: usize, prefetch: bool) -> Vec<(f32, Vec<f32>)> {
     let model_cfg = ModelConfig::tiny(2, 32, 4, 50);
@@ -65,10 +67,9 @@ fn grad_run(seed: u64, world: usize, prefetch: bool) -> Vec<(f32, Vec<f32>)> {
             plan.local_positions(rank),
         );
         let mut model = GptModel::new(&model_cfg, seed);
-        let opts = ExecOpts {
-            offload: true,
-            prefetch,
-        };
+        let opts = RuntimeOptions::from_env()
+            .with_offload(true)
+            .with_prefetch(prefetch);
         let mut exec = DistAttention::with_opts(std::sync::Arc::new(comm), plan, opts);
         model.zero_grad();
         let stats = model

@@ -9,6 +9,7 @@
 //! | `wallclock-in-kernel`   | kernels are clock-free (determinism) |
 //! | `raw-thread-spawn`      | threads come from the pool / engines, not ad hoc |
 //! | `dropped-span-guard`    | span guards get named bindings (`let _ =` drops instantly) |
+//! | `unchecked-ckpt-io`     | checkpoint I/O results are handled, never discarded |
 //!
 //! Rules pattern-match the **token stream** (string literals and comments
 //! never fire) after `#[cfg(test)]` items are stripped — tests are free
@@ -51,6 +52,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "dropped-span-guard",
         what: "`let _ = ...span...` drops the RAII guard immediately — bind it to a name",
+    },
+    RuleInfo {
+        name: "unchecked-ckpt-io",
+        what: "checkpoint I/O results (write_shard, read_shard, checkpoint, load_state_dict, ...) must not be discarded via `let _ =` or `.ok()` — a silently dropped CkptError means a resume from half-written state",
     },
     RuleInfo {
         name: "malformed-suppression",
@@ -113,6 +118,29 @@ const WALLCLOCK_SCOPE: &[&str] = &["crates/tensor/src/"];
 /// the scan).
 const THREAD_ALLOWLIST: &[&str] = &["crates/comm/src/engine.rs", "crates/comm/src/group.rs"];
 
+/// The checkpoint persistence surface: everywhere a `CkptError` (or the
+/// fs call underneath one) is born. A discarded Result here turns a
+/// half-written shard into a later resume-time mystery.
+const CKPT_SCOPE: &[&str] = &[
+    "crates/core/src/runtime/ckpt.rs",
+    "crates/core/src/runtime/dist.rs",
+    "src/bin/fpdt-ckpt.rs",
+];
+
+/// Fallible checkpoint-I/O calls whose `Result` carries the durability
+/// contract (typed `CkptError`s or the `io::Error` beneath them).
+const CKPT_IO_IDENTS: &[&str] = &[
+    "write_shard",
+    "read_shard",
+    "shard_paths",
+    "checkpoint",
+    "checkpoint_default",
+    "load_state_dict",
+    "create_dir_all",
+    "sync_all",
+    "rename",
+];
+
 fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
@@ -142,6 +170,7 @@ pub fn check_file(path: &str, lines: &[String], toks: &[Token]) -> Vec<Finding> 
     wallclock_in_kernel(path, lines, toks, &mut out);
     raw_thread_spawn(path, lines, toks, &mut out);
     dropped_span_guard(path, lines, toks, &mut out);
+    unchecked_ckpt_io(path, lines, toks, &mut out);
     out
 }
 
@@ -413,6 +442,89 @@ fn dropped_span_guard(path: &str, lines: &[String], toks: &[Token], out: &mut Ve
                      zero-length span; bind it (`let _guard = ...`) so it lives to the end of \
                      scope"
                         .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// In the checkpoint persistence scope: `let _ = <expr containing a
+/// ckpt-I/O call>;` or `.ok()` chained directly onto such a call — both
+/// swallow the `Result` that carries the durability contract.
+fn unchecked_ckpt_io(path: &str, lines: &[String], toks: &[Token], out: &mut Vec<Finding>) {
+    if !in_scope(path, CKPT_SCOPE) {
+        return;
+    }
+    let is_ckpt_call = |t: &Token| {
+        t.kind == TokKind::Ident && CKPT_IO_IDENTS.contains(&t.text.as_str())
+    };
+    for i in 0..toks.len() {
+        // `let _ = ...write_shard(...)...;` — discarded at the binding.
+        if toks[i].is_ident("let")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let mut depth = 0i64;
+            let mut j = i + 3;
+            let mut dropped: Option<usize> = None;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => depth -= 1,
+                    TokKind::Punct(';') if depth <= 0 => break,
+                    _ => {}
+                }
+                if is_ckpt_call(t) && toks.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+                    dropped = Some(j);
+                }
+                j += 1;
+            }
+            if let Some(k) = dropped {
+                out.push(finding(
+                    "unchecked-ckpt-io",
+                    path,
+                    lines,
+                    &toks[k],
+                    format!(
+                        "`let _ = ...{}(...)` discards a checkpoint I/O Result; propagate the \
+                         CkptError (`?`) or handle it — a dropped error here resumes from \
+                         half-written state",
+                        toks[k].text
+                    ),
+                ));
+            }
+        }
+        // `write_shard(...).ok()` — the error is erased at the call site.
+        if is_ckpt_call(&toks[i]) && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Punct('(') => depth += 1,
+                    TokKind::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident("ok"))
+                && toks.get(j + 3).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(finding(
+                    "unchecked-ckpt-io",
+                    path,
+                    lines,
+                    &toks[i],
+                    format!(
+                        "`{}(...).ok()` erases the checkpoint I/O error; propagate the CkptError \
+                         (`?`) or match on it — `.ok()` here hides a failed or partial write",
+                        toks[i].text
+                    ),
                 ));
             }
         }

@@ -211,6 +211,56 @@ fn named_span_guard_is_allowed() {
     assert!(rules_fired("crates/core/src/runtime/mod.rs", no_span).is_empty());
 }
 
+// --- unchecked-ckpt-io ---
+
+#[test]
+fn discarded_ckpt_write_fires() {
+    let src = r#"
+        pub fn save(dir: &Path, d: &StateDict) {
+            let _ = write_shard(dir, 0, 1, d);
+        }
+    "#;
+    assert_eq!(
+        rules_fired("crates/core/src/runtime/ckpt.rs", src),
+        ["unchecked-ckpt-io"]
+    );
+}
+
+#[test]
+fn ok_erased_ckpt_read_fires() {
+    let src = r#"
+        pub fn peek(p: &Path) -> Option<StateDict> {
+            read_shard(p).ok()
+        }
+    "#;
+    assert_eq!(
+        rules_fired("crates/core/src/runtime/dist.rs", src),
+        ["unchecked-ckpt-io"]
+    );
+}
+
+#[test]
+fn propagated_ckpt_io_is_allowed() {
+    let src = r#"
+        pub fn save(dir: &Path, d: &StateDict) -> Result<(), CkptError> {
+            write_shard(dir, 0, 1, d)?;
+            std::fs::rename(tmp, path)?;
+            Ok(())
+        }
+    "#;
+    assert!(rules_fired("crates/core/src/runtime/ckpt.rs", src).is_empty());
+    // Non-ckpt Results may still be discarded, and the rule stays scoped:
+    // the same discard outside the checkpoint surface is someone else's
+    // contract.
+    let elsewhere = r#"
+        pub fn cleanup(dir: &Path) {
+            let _ = std::fs::remove_dir_all(dir);
+            let _ = write_shard(dir, 0, 1, d);
+        }
+    "#;
+    assert!(rules_fired("crates/core/src/offload.rs", elsewhere).is_empty());
+}
+
 // --- suppressions ---
 
 #[test]

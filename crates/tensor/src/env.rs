@@ -77,6 +77,36 @@ pub fn usize_knob(name: &str) -> Option<usize> {
     }
 }
 
+/// Reads a budget-valued knob: like [`usize_knob`] but `0` is a usable
+/// value (a retry budget of zero means "fail fast", not "unset").
+pub fn budget_knob(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed == "0" {
+        return Some(0);
+    }
+    match parse_usize_strict(trimmed) {
+        Ok(v) => Some(v),
+        Err(why) => {
+            warn_once(name, &why);
+            None
+        }
+    }
+}
+
+/// Reads a string-valued knob (e.g. a checkpoint directory): trimmed,
+/// `None` when unset; an all-whitespace value warns once and reads as
+/// unset rather than pointing the run at an empty path.
+pub fn string_knob(name: &str) -> Option<String> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        warn_once(name, "value is empty");
+        return None;
+    }
+    Some(trimmed.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +166,27 @@ mod tests {
         assert_eq!(usize_knob("FPDT_TENSOR_TEST_COUNT_OK"), Some(4));
         std::env::remove_var("FPDT_TENSOR_TEST_COUNT_OK");
         assert_eq!(usize_knob("FPDT_TENSOR_TEST_COUNT_OK"), None);
+    }
+
+    #[test]
+    fn budget_knob_allows_zero_but_not_garbage() {
+        std::env::set_var("FPDT_TENSOR_TEST_BUDGET", "0");
+        assert_eq!(budget_knob("FPDT_TENSOR_TEST_BUDGET"), Some(0));
+        std::env::set_var("FPDT_TENSOR_TEST_BUDGET", " 3 ");
+        assert_eq!(budget_knob("FPDT_TENSOR_TEST_BUDGET"), Some(3));
+        std::env::set_var("FPDT_TENSOR_TEST_BUDGET", "lots");
+        assert_eq!(budget_knob("FPDT_TENSOR_TEST_BUDGET"), None);
+        std::env::remove_var("FPDT_TENSOR_TEST_BUDGET");
+        assert_eq!(budget_knob("FPDT_TENSOR_TEST_BUDGET"), None);
+    }
+
+    #[test]
+    fn string_knob_trims_and_rejects_empty() {
+        std::env::set_var("FPDT_TENSOR_TEST_DIR", "  /tmp/ck  ");
+        assert_eq!(string_knob("FPDT_TENSOR_TEST_DIR").as_deref(), Some("/tmp/ck"));
+        std::env::set_var("FPDT_TENSOR_TEST_DIR", "   ");
+        assert_eq!(string_knob("FPDT_TENSOR_TEST_DIR"), None, "empty reads as unset");
+        std::env::remove_var("FPDT_TENSOR_TEST_DIR");
+        assert_eq!(string_knob("FPDT_TENSOR_TEST_DIR"), None);
     }
 }

@@ -57,6 +57,9 @@ pub struct AdamW {
     moments: HashMap<u64, (Vec<f32>, Vec<f32>)>,
 }
 
+/// One exported moment pair: `(param id, m, v)`.
+pub type MomentEntry = (u64, Vec<f32>, Vec<f32>);
+
 impl AdamW {
     /// Creates an optimizer with the given hyper-parameters.
     pub fn new(cfg: AdamWConfig) -> Self {
@@ -131,6 +134,31 @@ impl AdamW {
             let mhat = m[i] / bc1;
             let vhat = v[i] / bc2;
             param[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * param[i]);
+        }
+    }
+
+    /// Exports the full optimizer state — the step counter plus every
+    /// registered `(id, m, v)` moment pair, sorted by id so the layout is
+    /// deterministic regardless of `HashMap` iteration order.
+    pub fn export_state(&self) -> (u64, Vec<MomentEntry>) {
+        let mut entries: Vec<_> = self
+            .moments
+            .iter()
+            .map(|(&id, (m, v))| (id, m.clone(), v.clone()))
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        (self.step, entries)
+    }
+
+    /// Replaces the optimizer state with one captured by
+    /// [`AdamW::export_state`]. Hyper-parameters are untouched — they come
+    /// from the training config, not the checkpoint.
+    pub fn import_state(&mut self, step: u64, entries: Vec<MomentEntry>) {
+        self.step = step;
+        self.moments.clear();
+        for (id, m, v) in entries {
+            assert_eq!(m.len(), v.len(), "moment buffers for {id} differ in length");
+            self.moments.insert(id, (m, v));
         }
     }
 }
@@ -213,6 +241,52 @@ mod tests {
         let mut w = vec![0.0f32; 10];
         opt.update(0, &mut w, &[0.0; 10]);
         assert_eq!(opt.state_bytes(), 10 * 2 * 4);
+    }
+
+    #[test]
+    fn exported_state_resumes_bitwise() {
+        // Optimize for k steps, export, keep going in both the original and
+        // a resumed copy: trajectories must agree bit for bit.
+        let cfg = AdamWConfig {
+            lr: 0.05,
+            ..Default::default()
+        };
+        let mut opt = AdamW::new(cfg);
+        let mut w = vec![1.0f32, -2.0, 0.5];
+        for _ in 0..7 {
+            let g: Vec<f32> = w.iter().map(|&x| x * 0.3 - 0.1).collect();
+            opt.begin_step();
+            opt.update(3, &mut w, &g);
+        }
+        let (step, entries) = opt.export_state();
+        assert_eq!(step, 7);
+        assert_eq!(entries.len(), 1);
+        let mut resumed = AdamW::new(cfg);
+        resumed.import_state(step, entries);
+        let mut w2 = w.clone();
+        for _ in 0..7 {
+            let g: Vec<f32> = w.iter().map(|&x| x * 0.3 - 0.1).collect();
+            opt.begin_step();
+            opt.update(3, &mut w, &g);
+            let g2: Vec<f32> = w2.iter().map(|&x| x * 0.3 - 0.1).collect();
+            resumed.begin_step();
+            resumed.update(3, &mut w2, &g2);
+        }
+        assert_eq!(w, w2, "resumed trajectory must match bitwise");
+        assert_eq!(opt.steps(), resumed.steps());
+    }
+
+    #[test]
+    fn export_orders_ids() {
+        let mut opt = AdamW::new(AdamWConfig::default());
+        opt.begin_step();
+        for id in [9u64, 2, 5, 0] {
+            let mut w = vec![0.0f32; 2];
+            opt.update(id, &mut w, &[1.0; 2]);
+        }
+        let (_, entries) = opt.export_state();
+        let ids: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 2, 5, 9]);
     }
 
     #[test]

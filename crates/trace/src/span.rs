@@ -90,6 +90,15 @@ impl Recorder {
         });
     }
 
+    /// Records an instantaneous event: a zero-duration span stamped at the
+    /// current time. Recovery paths use this to mark retries and rollbacks
+    /// (`recover.retry`, `recover.rollback`) so [`Recorder::count`] can
+    /// assert how often fault handling actually fired.
+    pub fn event(&self, label: &str) {
+        let at = self.now_us();
+        self.record(label, at, 0.0, None);
+    }
+
     /// Microseconds elapsed since the recorder's epoch.
     pub fn now_us(&self) -> f64 {
         self.inner.epoch.elapsed().as_secs_f64() * 1e6

@@ -104,6 +104,18 @@ if ! grep -q '^RUNTIME_BALANCE_OK ' <<<"$out"; then
     exit 1
 fi
 
+echo "==> resume --json --quick (checkpoint/restore and fault recovery must be bitwise)"
+out=$(cargo run -q --release -p fpdt-bench --bin resume -- --json --quick)
+echo "$out"
+# The resume bench trains uninterrupted, replays the same run through a
+# checkpoint -> Trainer::resume round trip, then again under injected
+# transient collective faults with a replay budget. It asserts bitwise
+# loss/grad/traffic equality on both legs before printing its gate line.
+if ! grep -q '^RUNTIME_RESUME_OK ' <<<"$out"; then
+    echo "FAIL: checkpoint/resume or fault recovery diverged from the uninterrupted run" >&2
+    exit 1
+fi
+
 echo "==> autotune --json --quick (calibrated planner must rank configs honestly)"
 # The autotune bench fits the simulator's cost constants from a real
 # probe run, searches the knob grid, then measures every candidate and
@@ -168,5 +180,12 @@ echo "==> cargo test -q --workspace under FPDT_BF16=1"
 # knob. Cross-mode loss comparisons pin it off internally; everything
 # else must hold bit-for-bit schedules and bf16-tolerance numerics.
 FPDT_BF16=1 cargo test -q --workspace
+
+echo "==> cargo test -q -p fpdt-core under FPDT_FAULT_INJECT=2 FPDT_COMM_RETRIES=4"
+# The tier-1 suite must pass with transient collective faults injected
+# into every group and enough replay budget to absorb them: recovery is
+# a scheduling event, never a numerics event. (Determinism suites that
+# measure fault counters pin the knobs off internally.)
+FPDT_FAULT_INJECT=2 FPDT_COMM_RETRIES=4 cargo test -q -p fpdt-core
 
 echo "CI OK"

@@ -1,0 +1,166 @@
+//! `fpdt-ckpt` — inspect a sharded FPDT checkpoint directory.
+//!
+//! ```sh
+//! fpdt-ckpt target/experiments/resume_ckpt
+//! fpdt-ckpt --keys target/experiments/resume_ckpt
+//! ```
+//!
+//! Reads every `shard-NNNN-of-MMMM.fpdt` file written by
+//! `Trainer::checkpoint`, validates that the set is complete and
+//! mutually consistent, and prints the training geometry, progress, loss
+//! tail and per-shard tensor sizes. With `--keys` it also lists every
+//! state entry per shard with its type and element count — useful when a
+//! resume fails and you need to see what is actually on disk.
+//!
+//! Exit codes distinguish the typed failure classes of
+//! [`fpdt_core::runtime::ckpt::CkptError`]: 2 = usage, 3 = missing
+//! shards, 4 = corrupt/version mismatch, 5 = I/O.
+
+use fpdt_core::runtime::ckpt::{read_shard, shard_paths, CkptError, StateDict};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: fpdt-ckpt [--keys] <checkpoint-dir>"
+}
+
+fn entry_desc(dict: &StateDict, key: &str) -> String {
+    if let Ok(v) = dict.f32s(key) {
+        format!("f32[{}]", v.len())
+    } else if let Ok(v) = dict.u64s(key) {
+        format!("u64[{}]", v.len())
+    } else if let Ok(s) = dict.str(key) {
+        format!("str({} bytes)", s.len())
+    } else {
+        "?".into()
+    }
+}
+
+fn loss_tail(losses: &[f32]) -> String {
+    let tail: Vec<String> = losses
+        .iter()
+        .rev()
+        .take(4)
+        .rev()
+        .map(|l| format!("{l:.4}"))
+        .collect();
+    if losses.len() > tail.len() {
+        format!("... {}", tail.join(" "))
+    } else {
+        tail.join(" ")
+    }
+}
+
+fn inspect(dir: &Path, show_keys: bool) -> Result<(), CkptError> {
+    let paths = shard_paths(dir)?;
+    let mut shards = Vec::with_capacity(paths.len());
+    for p in &paths {
+        shards.push((p.clone(), read_shard(p)?));
+    }
+
+    let (path0, meta) = &shards[0];
+    let dims = meta.u64s("cfg.model.dims")?;
+    let train = meta.u64s("cfg.train")?;
+    println!("checkpoint {}", dir.display());
+    println!(
+        "  model    {} ({}): layers={} hidden={} heads={}/{} ffn={} vocab={}",
+        meta.str("cfg.model.name")?,
+        meta.str("cfg.model.family")?,
+        dims.first().copied().unwrap_or(0),
+        dims.get(1).copied().unwrap_or(0),
+        dims.get(2).copied().unwrap_or(0),
+        dims.get(3).copied().unwrap_or(0),
+        dims.get(4).copied().unwrap_or(0),
+        dims.get(5).copied().unwrap_or(0),
+    );
+    println!(
+        "  geometry world={} seq={} mode={} zero1={} ac={} accum={} warmup={} seed={}",
+        train.first().copied().unwrap_or(0),
+        train.get(1).copied().unwrap_or(0),
+        meta.str("cfg.mode")?,
+        train.get(5).copied().unwrap_or(0) != 0,
+        train.get(6).copied().unwrap_or(0) != 0,
+        train.get(3).copied().unwrap_or(0),
+        train.get(4).copied().unwrap_or(0),
+        train.get(7).copied().unwrap_or(0),
+    );
+    let losses = meta.f32s("trainer.losses")?;
+    println!(
+        "  progress step={} (opt step {}), {} recorded losses: {}",
+        meta.u64_scalar("trainer.step")?,
+        meta.u64_scalar("opt.step")?,
+        losses.len(),
+        loss_tail(losses),
+    );
+    let recovery = meta.u64s("stats.comm.recovery")?;
+    println!(
+        "  recovery faults={} retries={}",
+        recovery.first().copied().unwrap_or(0),
+        recovery.get(1).copied().unwrap_or(0),
+    );
+
+    for (i, (path, dict)) in shards.iter().enumerate() {
+        let rank = dict.u64_scalar("meta.rank")?;
+        if rank != i as u64 {
+            return Err(CkptError::Corrupt(format!(
+                "shard {} claims rank {rank}, expected {i}",
+                path.display()
+            )));
+        }
+        if dict.u64_scalar("trainer.step")? != meta.u64_scalar("trainer.step")? {
+            return Err(CkptError::Corrupt(format!(
+                "shard {} disagrees with {} on trainer.step",
+                path.display(),
+                path0.display()
+            )));
+        }
+        let params = dict.f32s("model.params.shard")?.len();
+        let moments = dict.f32s("opt.m.shard")?.len();
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "  shard {i:>4}  {params:>9} params  {moments:>9} moments  {bytes:>10} bytes  {}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+        );
+        if show_keys {
+            for key in dict.keys() {
+                println!("      {key:<28} {}", entry_desc(dict, key));
+            }
+        }
+    }
+    println!("ok: {} shards, consistent", shards.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut show_keys = false;
+    let mut dir: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--keys" => show_keys = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => dir = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unknown flag {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    match inspect(&dir, show_keys) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("fpdt-ckpt: {err}");
+            ExitCode::from(match err {
+                CkptError::Missing(_) => 3,
+                CkptError::Corrupt(_) | CkptError::Version(_) => 4,
+                CkptError::Io(_) => 5,
+            })
+        }
+    }
+}

@@ -102,6 +102,21 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing a stream
+        /// mid-sequence. Restoring via [`SmallRng::from_state`] continues
+        /// the stream exactly where [`SmallRng::state`] observed it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             // splitmix64 stream to expand the seed into the full state.
@@ -160,6 +175,19 @@ mod tests {
             assert!((3..17).contains(&x));
             let f = r.gen_range(-1.5f32..2.5);
             assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..37 {
+            r.gen_range(0usize..100);
+        }
+        let saved = r.state();
+        let mut resumed = SmallRng::from_state(saved);
+        for _ in 0..100 {
+            assert_eq!(r.gen_range(0u64..1 << 40), resumed.gen_range(0u64..1 << 40));
         }
     }
 
